@@ -1,0 +1,85 @@
+/// \file ablation_mac.cpp
+/// Ablations of the modelling decisions documented in DESIGN.md:
+///   1. carrier sensing (spatial channel reuse) on/off — the mechanism
+///      behind SPMS's delay advantage;
+///   2. overhearing energy on/off — the paper's analysis omits redundant
+///      reception cost; this quantifies what that omission hides;
+///   3. flooding baseline — what SPIN's negotiation buys in the first place.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace spms;
+  bench::print_header("Ablation", "MAC / energy-model choices on the 49-node reference",
+                      "not a paper figure; quantifies DESIGN.md decisions");
+
+  auto base = bench::reference_config();
+  base.node_count = 49;
+
+  {
+    exp::Table t({"carrier sense", "SPMS delay", "SPIN delay", "SPIN/SPMS"});
+    for (const bool cs : {true, false}) {
+      auto cfg = base;
+      cfg.mac.carrier_sense = cs;
+      const auto [spms_run, spin_run] = bench::run_pair(cfg);
+      t.add_row({cs ? "on" : "off", exp::fmt(spms_run.mean_delay_ms, 2),
+                 exp::fmt(spin_run.mean_delay_ms, 2),
+                 exp::fmt(spin_run.mean_delay_ms / spms_run.mean_delay_ms, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "(without the shared channel, only airtime and backoff separate the\n"
+               " protocols and the delay gap collapses — the paper's delay result is a\n"
+               " contention effect, exactly as its Section 6 argues)\n\n";
+  }
+
+  {
+    exp::Table t({"overhearing cost", "SPMS uJ/pkt", "SPIN uJ/pkt", "SPMS saving"});
+    for (const bool oh : {false, true}) {
+      auto cfg = base;
+      cfg.energy.charge_overhearing = oh;
+      const auto [spms_run, spin_run] = bench::run_pair(cfg);
+      t.add_row({oh ? "charged" : "omitted", exp::fmt(spms_run.protocol_energy_per_item_uj, 2),
+                 exp::fmt(spin_run.protocol_energy_per_item_uj, 2),
+                 exp::fmt_pct(1.0 - spms_run.protocol_energy_per_item_uj /
+                                        spin_run.protocol_energy_per_item_uj)});
+    }
+    t.print(std::cout);
+    std::cout << "(SPIN's max-power unicasts wake the whole zone; charging overhearers\n"
+               " widens SPMS's advantage — the paper notes \"the gain in SPMS will be\n"
+               " higher if we take this into account\")\n\n";
+  }
+
+  {
+    exp::Table t({"rx power (mW)", "SPMS uJ/pkt", "SPIN uJ/pkt", "SPMS saving"});
+    for (const double rx : {0.0125, 0.05, 0.2, 0.8}) {
+      auto cfg = base;
+      cfg.energy.rx_power_mw = rx;
+      const auto [spms_run, spin_run] = bench::run_pair(cfg);
+      t.add_row({exp::fmt(rx, 4), exp::fmt(spms_run.protocol_energy_per_item_uj, 2),
+                 exp::fmt(spin_run.protocol_energy_per_item_uj, 2),
+                 exp::fmt_pct(1.0 - spms_run.protocol_energy_per_item_uj /
+                                        spin_run.protocol_energy_per_item_uj)});
+    }
+    t.print(std::cout);
+    std::cout << "(Er = Em = 0.0125 mW is the paper's analysis simplification and inflates\n"
+               " SPMS's saving; a realistic receive draw compresses it into the paper's\n"
+               " simulated 26-43% band — our default is 0.15 mW)\n\n";
+  }
+
+  {
+    exp::Table t({"protocol", "uJ/pkt", "frames", "delivery"});
+    for (const auto kind :
+         {exp::ProtocolKind::kSpms, exp::ProtocolKind::kSpin, exp::ProtocolKind::kFlooding}) {
+      auto cfg = base;
+      cfg.protocol = kind;
+      const auto r = exp::run_experiment(cfg);
+      t.add_row({r.protocol, exp::fmt(r.protocol_energy_per_item_uj, 2),
+                 std::to_string(r.net_counters.tx_total()), exp::fmt_pct(r.delivery_ratio)});
+    }
+    t.print(std::cout);
+    std::cout << "(flooding = the Section 1 baseline: full DATA frames from every node)\n";
+  }
+  return 0;
+}

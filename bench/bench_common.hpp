@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/table.hpp"
+
+/// \file bench_common.hpp
+/// Shared scaffolding for the figure-reproduction binaries.
+///
+/// Each bench prints the series behind one table/figure of the paper.  The
+/// reference workload follows Table 1 except where EXPERIMENTS.md documents
+/// a calibration: packets_per_node defaults to 2 instead of 10 so the whole
+/// bench suite completes in minutes (pass e.g. SPMS_BENCH_PACKETS=10 to run
+/// the paper's full load).
+
+namespace spms::bench {
+
+/// Reference experiment configuration (paper Table 1 + DESIGN.md Section 6).
+inline exp::ExperimentConfig reference_config() {
+  exp::ExperimentConfig cfg;
+  cfg.node_count = 169;
+  cfg.grid_pitch_m = 5.0;
+  cfg.zone_radius_m = 20.0;
+  cfg.traffic.packets_per_node = 2;
+  cfg.seed = 2004;  // DSN 2004
+  if (const char* env = std::getenv("SPMS_BENCH_PACKETS")) {
+    cfg.traffic.packets_per_node = std::max(1, std::atoi(env));
+  }
+  if (const char* env = std::getenv("SPMS_BENCH_SEED")) {
+    cfg.seed = static_cast<std::uint64_t>(std::atoll(env));
+  }
+  return cfg;
+}
+
+/// Runs the same config under SPMS and SPIN; returns {spms, spin}.
+inline std::pair<exp::RunResult, exp::RunResult> run_pair(exp::ExperimentConfig cfg) {
+  cfg.protocol = exp::ProtocolKind::kSpms;
+  auto spms_run = exp::run_experiment(cfg);
+  cfg.protocol = exp::ProtocolKind::kSpin;
+  auto spin_run = exp::run_experiment(cfg);
+  return {std::move(spms_run), std::move(spin_run)};
+}
+
+/// Transient-failure regime for the failure figures.  Table 1's MTBF of
+/// 50 ms belongs to the paper's unqueued simulator whose whole dissemination
+/// lasts tens of milliseconds; our shared-channel runs stretch over seconds,
+/// so the same *relative* churn (≈20% downtime duty cycle, a couple of
+/// failures per node while traffic is in flight) maps to a scaled clock.
+inline void scaled_failures(exp::ExperimentConfig& cfg) {
+  cfg.inject_failures = true;
+  cfg.failure.mean_time_between_failures = sim::Duration::ms(2500.0);
+  cfg.failure.repair_min = sim::Duration::ms(250.0);
+  cfg.failure.repair_max = sim::Duration::ms(750.0);
+  cfg.activity_horizon = sim::Duration::ms(6000.0);
+}
+
+/// Standard bench header.
+inline void print_header(const std::string& id, const std::string& title,
+                         const std::string& paper_claim) {
+  std::cout << "==== " << id << ": " << title << " ====\n";
+  std::cout << "paper: " << paper_claim << "\n\n";
+}
+
+}  // namespace spms::bench

@@ -1,0 +1,33 @@
+/// \file fig05_energy_ratio_analysis.cpp
+/// Figure 5: analytical SPIN/SPMS energy ratio as the transmission radius
+/// varies (Section 4.2).  Unit grid, node on every grid point, k = r,
+/// energy law d^3.5, f = A/(A+D+R) with D = 32A and R = A.
+
+#include <iostream>
+
+#include "analysis/energy_model.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace spms;
+  bench::print_header("Figure 5", "SPIN:SPMS energy ratio vs transmission radius (analytical)",
+                      "SPMS saves more as the radius grows (text); under the printed "
+                      "closed form the ratio peaks once the per-hop max-power ADV "
+                      "(k f k^a term) starts to dominate");
+
+  const analysis::EnergyRatioParams p;  // alpha = 3.5, f = 1/34
+  exp::Table t({"radius k (grid units)", "E_SPIN : E_SPMS"});
+  for (double k = 1.0; k <= 16.0; k += 1.0) {
+    t.add_row({exp::fmt(k, 0), exp::fmt(analysis::spin_to_spms_energy_ratio(k, p), 4)});
+  }
+  t.print(std::cout);
+
+  const double peak = analysis::energy_ratio_peak_k(p);
+  std::cout << "\npeak of the closed form: k = " << exp::fmt(peak, 2)
+            << ", ratio = " << exp::fmt(analysis::spin_to_spms_energy_ratio(peak, p), 3) << "\n";
+  std::cout << "if relays re-advertised at hop power instead of the maximum (dropping the\n"
+               "k*f*E1 term), the ratio would grow monotonically as ~k^2.5 — the likely\n"
+               "reading behind the paper's 'SPMS does substantially better as the radius\n"
+               "increases'; see EXPERIMENTS.md for the discussion.\n";
+  return 0;
+}

@@ -1,0 +1,30 @@
+/// \file fig11_delay_vs_radius_failures.cpp
+/// Figure 11: mean delay vs transmission radius under transient node
+/// failures, 169 nodes.  Paper: "the delay difference between the failure
+/// and the failure free runs for the small radii is small as there are less
+/// intermediate hops. As the radius increases there are relay nodes whose
+/// failure induces the delay in SPMS."
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace spms;
+  bench::print_header("Figure 11", "mean delay vs transmission radius, with transient failures",
+                      "failure penalty grows with radius (more relays to lose)");
+
+  exp::Table t({"radius (m)", "SPMS", "F-SPMS", "SPIN", "F-SPIN"});
+  for (const double r : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
+    auto cfg = bench::reference_config();
+    cfg.zone_radius_m = r;
+    const auto [spms_clean, spin_clean] = bench::run_pair(cfg);
+    bench::scaled_failures(cfg);
+    const auto [spms_fail, spin_fail] = bench::run_pair(cfg);
+    t.add_row({exp::fmt(r, 0), exp::fmt(spms_clean.mean_delay_ms, 2),
+               exp::fmt(spms_fail.mean_delay_ms, 2), exp::fmt(spin_clean.mean_delay_ms, 2),
+               exp::fmt(spin_fail.mean_delay_ms, 2)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,44 @@
+/// \file fig12_energy_mobility.cpp
+/// Figure 12: energy per packet vs transmission radius with node mobility,
+/// all-to-all.  SPMS must rebuild its routing tables (distributed
+/// Bellman-Ford) after every movement epoch and the rebuild energy IS
+/// included ("The energy expended in SPMS in forming routing tables is
+/// included in the energy measurement").  Paper: SPMS still wins, but the
+/// savings shrink to 5-21%.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace spms;
+  bench::print_header("Figure 12", "energy per packet vs radius, mobile nodes (all-to-all)",
+                      "SPMS wins by only 5-21% once DBF reconvergence is paid");
+
+  exp::Table t({"radius (m)", "SPMS uJ/pkt (total)", "SPIN uJ/pkt", "SPMS saving",
+                "DBF uJ", "epochs"});
+  for (const double r : {10.0, 15.0, 20.0, 25.0}) {
+    auto cfg = bench::reference_config();
+    cfg.zone_radius_m = r;
+    // The paper's full traffic load (10 packets/node): the break-even
+    // analysis (bench/breakeven_mobility) shows a full-zone DBF rebuild
+    // costs several hundred packets' worth of savings, so the figure only
+    // lands in the paper's 5-21% winning band when enough packets flow
+    // between reconvergences — exactly the paper's own point.
+    cfg.traffic.packets_per_node = 10;
+    cfg.mobility = true;
+    // One reconvergence mid-run.
+    cfg.mobility_params.epoch_interval = sim::Duration::ms(400);
+    cfg.mobility_params.move_fraction = 0.05;
+    cfg.activity_horizon = sim::Duration::ms(700);
+    const auto [spms_run, spin_run] = bench::run_pair(cfg);
+    t.add_row({exp::fmt(r, 0), exp::fmt(spms_run.energy_per_item_uj, 2),
+               exp::fmt(spin_run.energy_per_item_uj, 2),
+               exp::fmt_pct(1.0 - spms_run.energy_per_item_uj / spin_run.energy_per_item_uj),
+               exp::fmt(spms_run.energy.routing_uj(), 1),
+               std::to_string(spms_run.mobility_epochs)});
+  }
+  t.print(std::cout);
+  std::cout << "\n(SPMS column includes all DBF rebuild energy; SPIN keeps no tables)\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+/// \file fig13_energy_cluster.cpp
+/// Figure 13: energy per packet vs transmission radius for cluster-based
+/// hierarchical communication, with and without transient failures.
+/// Paper: "SPMS consumes 35-59% less energy than SPIN for the failure-free
+/// case … in failure cases, the energy expended by the protocols is much
+/// more than for the failure-free runs."
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace spms;
+  bench::print_header("Figure 13", "energy per packet vs radius, cluster-based traffic",
+                      "SPMS saves 35-59% failure-free; failures cost both more energy");
+
+  exp::Table t({"radius (m)", "SPMS", "SPIN", "saving", "F-SPMS", "F-SPIN", "F saving"});
+  for (const double r : {10.0, 15.0, 20.0, 25.0, 30.0}) {
+    auto cfg = bench::reference_config();
+    cfg.zone_radius_m = r;
+    cfg.pattern = exp::TrafficPattern::kCluster;
+    // This figure runs under the paper's stated reception assumption
+    // Er = Em (0.0125 mW).  With so few deliveries per item, a realistic
+    // receive draw would be dominated by the zone-wide ADV reception that
+    // both protocols pay identically and would flatten the figure; the
+    // paper's 35-59% band is only consistent with Er = Em here (see
+    // EXPERIMENTS.md).
+    cfg.energy.rx_power_mw = 0.0125;
+    cfg.traffic.packets_per_node = 5;
+    const auto [spms_clean, spin_clean] = bench::run_pair(cfg);
+    bench::scaled_failures(cfg);
+    const auto [spms_fail, spin_fail] = bench::run_pair(cfg);
+    t.add_row({exp::fmt(r, 0), exp::fmt(spms_clean.protocol_energy_per_item_uj, 3),
+               exp::fmt(spin_clean.protocol_energy_per_item_uj, 3),
+               exp::fmt_pct(1.0 - spms_clean.protocol_energy_per_item_uj /
+                                      spin_clean.protocol_energy_per_item_uj),
+               exp::fmt(spms_fail.protocol_energy_per_item_uj, 3),
+               exp::fmt(spin_fail.protocol_energy_per_item_uj, 3),
+               exp::fmt_pct(1.0 - spms_fail.protocol_energy_per_item_uj /
+                                      spin_fail.protocol_energy_per_item_uj)});
+  }
+  t.print(std::cout);
+  std::cout << "\n(energies in uJ/packet; cluster heads always interested, zone bystanders "
+               "with p=0.05)\n";
+  return 0;
+}

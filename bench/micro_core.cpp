@@ -1,0 +1,86 @@
+/// \file micro_core.cpp
+/// google-benchmark micro-benchmarks for the substrate hot paths: event
+/// scheduling, RNG, neighbor scans, DBF rebuilds and a small end-to-end run.
+
+#include <benchmark/benchmark.h>
+
+#include "exp/runner.hpp"
+#include "net/topology.hpp"
+#include "routing/bellman_ford.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace spms;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    for (std::size_t i = 0; i < n; ++i) {
+      sched.schedule_after(sim::Duration::micros(static_cast<std::int64_t>(i % 997)), [] {});
+    }
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_RngExponential(benchmark::State& state) {
+  sim::Rng rng{42};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.exponential(1.0));
+  }
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_NeighborScan(benchmark::State& state) {
+  sim::Simulation sim{1};
+  net::Network net(sim, net::RadioTable::mica2(), {}, {},
+                   net::grid_deployment(static_cast<std::size_t>(state.range(0)), 5.0), 20.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.neighbors_within(net::NodeId{0}, 20.0));
+  }
+}
+BENCHMARK(BM_NeighborScan)->Arg(7)->Arg(13)->Arg(15);
+
+void BM_DbfRebuild(benchmark::State& state) {
+  sim::Simulation sim{1};
+  net::Network net(sim, net::RadioTable::mica2(), {}, {},
+                   net::grid_deployment(static_cast<std::size_t>(state.range(0)), 5.0), 20.0);
+  routing::DbfParams params;
+  params.charge_energy = false;
+  routing::RoutingService routing(net, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing.rebuild());
+  }
+}
+BENCHMARK(BM_DbfRebuild)->Arg(7)->Arg(13)->Unit(benchmark::kMillisecond);
+
+void BM_DijkstraReference(benchmark::State& state) {
+  sim::Simulation sim{1};
+  net::Network net(sim, net::RadioTable::mica2(), {}, {}, net::grid_deployment(13, 5.0), 20.0);
+  routing::ZoneMap zones(net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        routing::dijkstra_reference(net, zones, net::NodeId{0}, net::NodeId{84}));
+  }
+}
+BENCHMARK(BM_DijkstraReference);
+
+void BM_EndToEndSmallRun(benchmark::State& state) {
+  for (auto _ : state) {
+    exp::ExperimentConfig cfg;
+    cfg.protocol = state.range(0) == 0 ? exp::ProtocolKind::kSpms : exp::ProtocolKind::kSpin;
+    cfg.node_count = 25;
+    cfg.zone_radius_m = 15.0;
+    cfg.traffic.packets_per_node = 1;
+    benchmark::DoNotOptimize(exp::run_experiment(cfg));
+  }
+}
+BENCHMARK(BM_EndToEndSmallRun)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+/// \file cluster_monitoring.cpp
+/// The paper's Section 5.2 scenario as an application: a sensor field with
+/// cluster heads collecting readings (plus 5% curious bystanders inside
+/// each source's zone).  Compares SPMS and SPIN on energy — the metric
+/// Fig. 13 plots — and prints the cluster structure and per-head load.
+///
+/// Run:  ./cluster_monitoring [node_count] [zone_radius_m]
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "exp/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spms;
+
+  exp::ExperimentConfig cfg;
+  cfg.pattern = exp::TrafficPattern::kCluster;
+  cfg.node_count = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 100;
+  cfg.zone_radius_m = argc > 2 ? std::atof(argv[2]) : 20.0;
+  cfg.traffic.packets_per_node = 3;
+  cfg.seed = 11;
+  // The cluster scenario is evaluated under the paper's reception
+  // assumption Er = Em; with a realistic receive draw the zone-wide ADV
+  // reception both protocols pay identically dominates the tiny per-item
+  // traffic (see EXPERIMENTS.md, Fig. 13).
+  cfg.energy.rx_power_mw = 0.0125;
+
+  std::cout << "Cluster-based hierarchical monitoring (paper Section 5.2)\n"
+            << cfg.node_count << " nodes, zone radius " << cfg.zone_radius_m << " m, "
+            << cfg.traffic.packets_per_node << " readings per sensor\n\n";
+
+  // Inspect the cluster structure the interest pattern induces.
+  {
+    exp::Scenario scenario{cfg};
+    const auto& interest = dynamic_cast<const core::ClusterInterest&>(scenario.interest());
+    std::map<std::uint32_t, int> members;
+    for (std::uint32_t i = 0; i < scenario.network().size(); ++i) {
+      members[interest.head_of(net::NodeId{i}).v]++;
+    }
+    std::cout << interest.heads().size() << " cluster heads";
+    std::cout << " (members incl. head):";
+    for (const auto& [head, count] : members) std::cout << " n" << head << "=" << count;
+    std::cout << "\n\n";
+  }
+
+  exp::Table t({"protocol", "delivery", "energy/reading (uJ)", "mean delay (ms)", "frames"});
+  exp::RunResult spms_run, spin_run;
+  for (const auto kind : {exp::ProtocolKind::kSpms, exp::ProtocolKind::kSpin}) {
+    cfg.protocol = kind;
+    const auto r = exp::run_experiment(cfg);
+    t.add_row({r.protocol, exp::fmt_pct(r.delivery_ratio),
+               exp::fmt(r.protocol_energy_per_item_uj, 3), exp::fmt(r.mean_delay_ms, 2),
+               std::to_string(r.net_counters.tx_total())});
+    (kind == exp::ProtocolKind::kSpms ? spms_run : spin_run) = r;
+  }
+  t.print(std::cout);
+
+  std::cout << "\nSPMS energy saving vs SPIN: "
+            << exp::fmt_pct(1.0 - spms_run.protocol_energy_per_item_uj /
+                                      spin_run.protocol_energy_per_item_uj)
+            << "  (paper Fig. 13 band: 35-59%)\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+/// \file mobile_network.cpp
+/// Mobility walk-through (paper Section 5.1.3): nodes teleport on a fixed
+/// cadence, SPMS re-runs its distributed Bellman-Ford after every epoch and
+/// pays for it in energy.  The example sweeps the epoch interval to show the
+/// break-even effect the paper computes (~239 packets between moves): too
+/// little traffic between epochs and SPIN wins; enough and SPMS wins.
+///
+/// Run:  ./mobile_network
+
+#include <iostream>
+
+#include "exp/runner.hpp"
+#include "exp/table.hpp"
+
+int main() {
+  using namespace spms;
+
+  std::cout << "Mobility break-even demo (paper Section 5.1.3 / Fig. 12)\n"
+            << "49 nodes, zone radius 15 m, 5% of nodes teleport per epoch\n\n";
+
+  exp::Table t({"epoch interval (ms)", "epochs", "pkts", "SPMS uJ/pkt (total)",
+                "SPIN uJ/pkt", "winner"});
+  for (const double interval_ms : {100.0, 400.0, 2000.0}) {
+    exp::ExperimentConfig cfg;
+    cfg.node_count = 49;
+    cfg.zone_radius_m = 15.0;
+    cfg.traffic.packets_per_node = 12;
+    cfg.seed = 5;
+    cfg.mobility = true;
+    cfg.mobility_params.epoch_interval = sim::Duration::ms(interval_ms);
+    cfg.mobility_params.move_fraction = 0.05;
+    cfg.activity_horizon = sim::Duration::ms(2500.0);
+
+    cfg.protocol = exp::ProtocolKind::kSpms;
+    const auto spms_run = exp::run_experiment(cfg);
+    cfg.protocol = exp::ProtocolKind::kSpin;
+    const auto spin_run = exp::run_experiment(cfg);
+
+    const bool spms_wins = spms_run.energy_per_item_uj < spin_run.energy_per_item_uj;
+    t.add_row({exp::fmt(interval_ms, 0), std::to_string(spms_run.mobility_epochs),
+               std::to_string(spms_run.items_published),
+               exp::fmt(spms_run.energy_per_item_uj, 2),
+               exp::fmt(spin_run.energy_per_item_uj, 2), spms_wins ? "SPMS" : "SPIN"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nSPMS's total includes every DBF reconvergence; frequent moves erode its\n"
+               "per-packet advantage exactly as the paper's break-even analysis predicts.\n";
+  return 0;
+}

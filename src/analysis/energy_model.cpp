@@ -1,0 +1,43 @@
+#include "analysis/energy_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace spms::analysis {
+
+double spin_chain_energy(double adv, double data, double req, double e1, double er) {
+  return (adv + data + req) * (e1 + er);
+}
+
+double spms_chain_energy(double k, double adv, double data, double req, double e1, double em,
+                         double er) {
+  return k * adv * e1 + k * (data + req) * em + k * (adv + data + req) * er;
+}
+
+double spin_to_spms_energy_ratio(double k, const EnergyRatioParams& p) {
+  const double ka = std::pow(k, p.alpha);
+  return (ka + 1.0) / (k * (p.f * ka + 2.0 - p.f));
+}
+
+double energy_ratio_peak_k(const EnergyRatioParams& p, double k_max) {
+  // The curve is unimodal in k; a fine scan is plenty for a diagnostic.
+  double best_k = 1.0;
+  double best = -std::numeric_limits<double>::infinity();
+  for (double k = 1.0; k <= k_max; k += 0.01) {
+    const double r = spin_to_spms_energy_ratio(k, p);
+    if (r > best) {
+      best = r;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+double mobility_breakeven_packets(double dbf_energy_uj, double spin_per_packet_uj,
+                                  double spms_per_packet_uj) {
+  const double gain = spin_per_packet_uj - spms_per_packet_uj;
+  if (gain <= 0.0) return std::numeric_limits<double>::infinity();
+  return dbf_energy_uj / gain;
+}
+
+}  // namespace spms::analysis

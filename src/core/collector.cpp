@@ -1,0 +1,30 @@
+#include "core/collector.hpp"
+
+namespace spms::core {
+
+void Collector::record_publish(net::DataId item, sim::TimePoint at, std::size_t expected) {
+  auto [it, inserted] = items_.emplace(item, ItemRecord{at, expected, 0});
+  if (!inserted) return;  // double publish of the same id: ignore
+  ++published_;
+  expected_ += expected;
+}
+
+void Collector::record_delivery(net::NodeId /*node*/, net::DataId item, sim::TimePoint at) {
+  const auto it = items_.find(item);
+  if (it == items_.end()) {
+    ++unknown_;
+    return;
+  }
+  ++it->second.delivered;
+  ++delivered_;
+  const double delay_ms_sample = (at - it->second.published_at).to_ms();
+  delay_.add(delay_ms_sample);
+  delay_pct_.add(delay_ms_sample);
+}
+
+double Collector::delivery_ratio() const {
+  if (expected_ == 0) return 1.0;
+  return static_cast<double>(delivered_) / static_cast<double>(expected_);
+}
+
+}  // namespace spms::core

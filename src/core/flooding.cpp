@@ -1,0 +1,48 @@
+#include "core/flooding.hpp"
+
+#include <cassert>
+
+namespace spms::core {
+
+FloodingProtocol::FloodingProtocol(sim::Simulation& sim, net::Network& net,
+                                   const Interest& interest, ProtocolParams params)
+    : sim_(sim), net_(net), interest_(interest), params_(params) {
+  agents_.reserve(net_.size());
+  for (std::size_t i = 0; i < net_.size(); ++i) {
+    const net::NodeId id{static_cast<std::uint32_t>(i)};
+    agents_.push_back(std::make_unique<NodeAgent>(*this, id));
+    net_.set_agent(id, agents_.back().get());
+  }
+}
+
+FloodingProtocol::~FloodingProtocol() {
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    net_.set_agent(net::NodeId{static_cast<std::uint32_t>(i)}, nullptr);
+  }
+}
+
+void FloodingProtocol::publish(net::NodeId source, net::DataId item) {
+  assert(item.origin == source);
+  agents_[source.v]->seen.insert(item);
+  flood(source, item);
+}
+
+void FloodingProtocol::flood(net::NodeId self, net::DataId item) {
+  auto& agent = *agents_[self.v];
+  if (!agent.rebroadcast.insert(item).second) return;  // flooded already
+  net::Packet data;
+  data.type = net::PacketType::kData;
+  data.item = item;
+  data.size_bytes = params_.data_bytes;
+  net_.send(self, data, net_.zone_radius());
+}
+
+void FloodingProtocol::handle_receive(net::NodeId self, const net::Packet& p) {
+  if (p.type != net::PacketType::kData) return;
+  auto& agent = *agents_[self.v];
+  if (!agent.seen.insert(p.item).second) return;  // implosion duplicate
+  if (interest_.wants(self, p.item)) notify_delivered(self, p.item, sim_.now());
+  flood(self, p.item);
+}
+
+}  // namespace spms::core

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "core/interest.hpp"
+#include "core/protocol.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+/// \file flooding.hpp
+/// Classic flooding — the paper's Section 1 baseline: "each node retransmits
+/// the data it receives to all its neighbors … it results in data implosion
+/// with the destination getting multiple data packets from multiple paths."
+///
+/// No negotiation: the full DATA frame floods at maximum power; a node
+/// rebroadcasts each item exactly once (the only state kept).  Included for
+/// the ablation benches that quantify what SPIN's negotiation and SPMS's
+/// power control each buy.
+
+namespace spms::core {
+
+/// The flooding baseline over a Network.
+class FloodingProtocol final : public DisseminationProtocol {
+ public:
+  FloodingProtocol(sim::Simulation& sim, net::Network& net, const Interest& interest,
+                   ProtocolParams params);
+  ~FloodingProtocol() override;
+
+  [[nodiscard]] std::string_view name() const override { return "FLOOD"; }
+  void publish(net::NodeId source, net::DataId item) override;
+
+ private:
+  class NodeAgent final : public net::Agent {
+   public:
+    NodeAgent(FloodingProtocol& proto, net::NodeId self) : proto_(proto), self_(self) {}
+    void on_receive(const net::Packet& p) override { proto_.handle_receive(self_, p); }
+
+    std::unordered_set<net::DataId> seen;        ///< items received
+    std::unordered_set<net::DataId> rebroadcast; ///< items already re-flooded
+
+   private:
+    FloodingProtocol& proto_;
+    net::NodeId self_;
+  };
+
+  void handle_receive(net::NodeId self, const net::Packet& p);
+  void flood(net::NodeId self, net::DataId item);
+
+  sim::Simulation& sim_;
+  net::Network& net_;
+  const Interest& interest_;
+  ProtocolParams params_;
+  std::vector<std::unique_ptr<NodeAgent>> agents_;
+};
+
+}  // namespace spms::core

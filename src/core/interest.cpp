@@ -1,0 +1,96 @@
+#include "core/interest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace spms::core {
+
+namespace {
+
+/// SplitMix64-style avalanche over the (seed, node, item) triple; gives a
+/// stable pseudo-random draw without consuming RNG state.
+std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ClusterInterest::ClusterInterest(const net::Network& net, double head_spacing_m, double p_other,
+                                 std::uint64_t seed)
+    : net_(net), p_other_(p_other), seed_(seed) {
+  const std::size_t n = net.size();
+  // Bounding box of the deployment.
+  double max_x = 0.0, max_y = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto p = net.position(net::NodeId{static_cast<std::uint32_t>(i)});
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  const auto cells_x = std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(max_x / head_spacing_m)));
+  const auto cells_y = std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(max_y / head_spacing_m)));
+
+  is_head_.assign(n, false);
+  for (std::size_t cy = 0; cy < cells_y; ++cy) {
+    for (std::size_t cx = 0; cx < cells_x; ++cx) {
+      const net::Point centre{(static_cast<double>(cx) + 0.5) * head_spacing_m,
+                              (static_cast<double>(cy) + 0.5) * head_spacing_m};
+      net::NodeId best;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < n; ++i) {
+        const net::NodeId id{static_cast<std::uint32_t>(i)};
+        const double d = distance(net.position(id), centre);
+        if (d < best_d) {
+          best_d = d;
+          best = id;
+        }
+      }
+      if (best.valid() && !is_head_[best.v]) {
+        is_head_[best.v] = true;
+        heads_.push_back(best);
+      }
+    }
+  }
+
+  // Assign each node to its nearest head.
+  head_of_.assign(n, net::kNoNode);
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::NodeId id{static_cast<std::uint32_t>(i)};
+    double best_d = std::numeric_limits<double>::infinity();
+    for (const net::NodeId h : heads_) {
+      const double d = distance(net_.position(id), net_.position(h));
+      if (d < best_d) {
+        best_d = d;
+        head_of_[i] = h;
+      }
+    }
+  }
+}
+
+bool ClusterInterest::hash_wants(net::NodeId node, net::DataId item) const {
+  const std::uint64_t h = mix(seed_ ^ (static_cast<std::uint64_t>(node.v) << 40) ^
+                              (static_cast<std::uint64_t>(item.origin.v) << 20) ^ item.seq);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < p_other_;
+}
+
+bool ClusterInterest::wants(net::NodeId node, net::DataId item) const {
+  if (node == item.origin) return false;
+  if (node == head_of_.at(item.origin.v)) return true;
+  // Non-heads inside the origin's zone are interested with probability p.
+  if (distance(net_.position(node), net_.position(item.origin)) <= net_.zone_radius()) {
+    return hash_wants(node, item);
+  }
+  return false;
+}
+
+std::size_t ClusterInterest::expected_count(net::DataId item) const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < net_.size(); ++i) {
+    if (wants(net::NodeId{static_cast<std::uint32_t>(i)}, item)) ++count;
+  }
+  return count;
+}
+
+}  // namespace spms::core

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "net/ids.hpp"
+#include "sim/time.hpp"
+
+/// \file protocol.hpp
+/// Common interface of the data-dissemination protocols (SPMS, SPIN,
+/// flooding).  A protocol owns one agent per node, reacts to traffic
+/// injected via publish(), and reports deliveries through a callback.
+
+namespace spms::core {
+
+/// Packet sizes and timer constants shared by the protocol family
+/// (paper Table 1).
+struct ProtocolParams {
+  std::size_t adv_bytes = 2;   ///< ADV frame size
+  std::size_t req_bytes = 2;   ///< REQ frame size
+  std::size_t data_bytes = 40; ///< DATA frame size (DATA:REQ = 20)
+
+  /// SPMS: how long a node waits to hear a relay's ADV before requesting
+  /// through the shortest path (TOutADV).
+  sim::Duration tout_adv = sim::Duration::ms(1.0);
+  /// SPMS: how long a requester waits for DATA before escalating (TOutDAT).
+  /// SPIN reuses it as its re-request timeout under failures.
+  sim::Duration tout_dat = sim::Duration::ms(2.5);
+
+  /// Bound on REQ (re)tries per item per node before giving up.
+  int max_retries = 16;
+
+  /// Retry timeouts back off exponentially: the k-th retry waits
+  /// tout_dat * retry_backoff^min(k, max_backoff_exp).  The paper assumes
+  /// timeouts are "adjusted properly" so they do not fire while the reply is
+  /// still queued; under bursty load a fixed 2.5 ms would fire spuriously
+  /// and spiral, so the backoff restores the paper's intent (see DESIGN.md).
+  double retry_backoff = 2.0;
+  int max_backoff_exp = 6;
+
+  /// Holder-side service rate limit: a (item, requester) pair is served at
+  /// most once per window.  Suppresses duplicate DATA when a retry races a
+  /// reply that is still queued, while letting genuinely lost replies be
+  /// re-served after the window.
+  sim::Duration service_guard = sim::Duration::ms(25.0);
+
+  /// Channel-activity gating of timers: an expiring tau_DAT / tau_ADV / SPIN
+  /// retry timer whose owner has heard the channel busy within the last
+  /// tout_dat re-arms instead of firing (the reply is plainly queued behind
+  /// audible traffic, not lost).  This keeps Table 1's 1.0/2.5 ms timers
+  /// meaningful under load while preserving fast failure detection on a
+  /// quiet channel.  The limit bounds deferrals per item as a deadlock
+  /// valve.
+  int timer_defer_limit = 4000;
+};
+
+/// Invoked exactly once per (interested node, item) when the data arrives.
+using DeliveryCallback =
+    std::function<void(net::NodeId node, net::DataId item, sim::TimePoint at)>;
+
+/// Base class for dissemination protocols.
+class DisseminationProtocol {
+ public:
+  virtual ~DisseminationProtocol() = default;
+
+  /// Protocol name for reports ("SPMS", "SPIN", ...).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// New data sensed at `source`; starts the dissemination of `item`.
+  /// `item.origin` must equal `source`.
+  virtual void publish(net::NodeId source, net::DataId item) = 0;
+
+  /// Nodes moved; protocols holding routing state refresh it here.  The
+  /// scenario layer calls this from the mobility epoch hook.
+  virtual void on_topology_changed() {}
+
+  /// Installs the delivery callback (collector wiring).
+  void set_delivery_callback(DeliveryCallback cb) { deliver_ = std::move(cb); }
+
+  /// Count of (node, item) acquisitions abandoned after max_retries; used by
+  /// the failure experiments to report residual losses.
+  [[nodiscard]] std::uint64_t given_up() const { return given_up_; }
+
+ protected:
+  void notify_delivered(net::NodeId node, net::DataId item, sim::TimePoint at) const {
+    if (deliver_) deliver_(node, item, at);
+  }
+  void count_give_up() { ++given_up_; }
+
+ private:
+  DeliveryCallback deliver_;
+  std::uint64_t given_up_ = 0;
+};
+
+}  // namespace spms::core

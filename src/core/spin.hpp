@@ -1,0 +1,99 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/interest.hpp"
+#include "core/protocol.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+/// \file spin.hpp
+/// SPIN-PP baseline (Heinzelman/Kulik/Balakrishnan, as summarized in the
+/// paper's Section 3.1).
+///
+/// Three-stage handshake, all frames at the single maximum power level
+/// ("SPIN suffers from the drawback of transmitting all packets at the same
+/// power level"):
+///   1. a node with new data broadcasts ADV(meta) to its neighbors;
+///   2. a neighbor that lacks and wants the data unicasts REQ back;
+///   3. the advertiser unicasts DATA to each requester;
+///   4. every receiver of DATA re-advertises it once, which spreads the item
+///      through the network.
+///
+/// Failure handling (for the F-SPIN runs): published SPIN has no timers, so
+/// a REQ or DATA lost to a transient crash would strand the requester.  We
+/// add the minimal liveness mechanism: a requester re-sends its REQ if DATA
+/// does not arrive within tout_dat (bounded by max_retries), and a node that
+/// recovers from a crash re-issues REQs for items it still misses.  This is
+/// documented as a reproduction decision in DESIGN.md.
+
+namespace spms::core {
+
+/// The SPIN-PP protocol over a Network.
+class SpinProtocol final : public DisseminationProtocol {
+ public:
+  SpinProtocol(sim::Simulation& sim, net::Network& net, const Interest& interest,
+               ProtocolParams params);
+  ~SpinProtocol() override;
+
+  [[nodiscard]] std::string_view name() const override { return "SPIN"; }
+  void publish(net::NodeId source, net::DataId item) override;
+
+ private:
+  /// Per (node, item) protocol state.
+  struct ItemState {
+    bool has = false;
+    bool advertised = false;     ///< ADV successfully handed to the MAC
+    bool pending = false;        ///< REQ outstanding
+    net::NodeId advertiser;      ///< who we last heard an ADV from
+    sim::EventHandle retry;      ///< re-request timer (failure liveness)
+    int attempts = 0;
+    bool gave_up = false;        ///< retry budget exhausted (counted once)
+    int deferrals = 0;           ///< timer expiries deferred by channel activity
+  };
+
+  /// Thin per-node adapter implementing net::Agent.
+  class NodeAgent final : public net::Agent {
+   public:
+    NodeAgent(SpinProtocol& proto, net::NodeId self) : proto_(proto), self_(self) {}
+    void on_receive(const net::Packet& p) override { proto_.handle_receive(self_, p); }
+    void on_down() override { proto_.handle_down(self_); }
+    void on_up() override { proto_.handle_up(self_); }
+
+    std::unordered_map<net::DataId, ItemState> items;
+    /// Holder-side duplicate suppression: when each (item, requester) pair
+    /// was last served.  Retries inside the service-guard window are dropped
+    /// (their DATA is still queued here); later ones are served again.
+    std::unordered_map<net::DataId, std::unordered_map<net::NodeId, sim::TimePoint>> served;
+
+   private:
+    SpinProtocol& proto_;
+    net::NodeId self_;
+  };
+
+  void handle_receive(net::NodeId self, const net::Packet& p);
+  void handle_adv(net::NodeId self, const net::Packet& p);
+  void handle_req(net::NodeId self, const net::Packet& p);
+  void handle_data(net::NodeId self, const net::Packet& p);
+  void handle_down(net::NodeId self);
+  void handle_up(net::NodeId self);
+
+  void broadcast_adv(net::NodeId self, net::DataId item);
+  void send_req(net::NodeId self, net::DataId item, net::NodeId to);
+  void arm_retry(net::NodeId self, net::DataId item);
+  void on_retry_timeout(net::NodeId self, net::DataId item);
+
+  [[nodiscard]] ItemState& state(net::NodeId node, net::DataId item) {
+    return agents_[node.v]->items[item];
+  }
+
+  sim::Simulation& sim_;
+  net::Network& net_;
+  const Interest& interest_;
+  ProtocolParams params_;
+  std::vector<std::unique_ptr<NodeAgent>> agents_;
+};
+
+}  // namespace spms::core

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/protocol.hpp"
+#include "core/spms.hpp"
+#include "core/traffic.hpp"
+#include "net/failure.hpp"
+#include "net/mobility.hpp"
+#include "net/params.hpp"
+#include "routing/bellman_ford.hpp"
+#include "sim/time.hpp"
+
+/// \file config.hpp
+/// One struct describes a complete experiment run (Table 1 of the paper
+/// plus deployment / protocol / fault-model switches).  A run is a pure
+/// function of this struct — same config, same seed, same result.
+
+namespace spms::exp {
+
+/// Which dissemination protocol the run exercises.
+enum class ProtocolKind { kSpms, kSpin, kFlooding };
+
+[[nodiscard]] constexpr const char* to_string(ProtocolKind k) {
+  switch (k) {
+    case ProtocolKind::kSpms: return "SPMS";
+    case ProtocolKind::kSpin: return "SPIN";
+    case ProtocolKind::kFlooding: return "FLOOD";
+  }
+  return "?";
+}
+
+/// Which communication pattern (paper Sections 5.1 / 5.2; kSink is the
+/// §5.1 "source to sink" special case — every node reports to one sink).
+enum class TrafficPattern { kAllToAll, kCluster, kSink };
+
+/// Node placement (the paper deploys a uniform-density grid; the random
+/// variant exercises the protocols off the lattice).
+enum class Deployment { kGrid, kUniformRandom };
+
+/// Full experiment description.  Defaults reproduce the paper's Table 1 on
+/// the reference deployment (5 m grid pitch; see DESIGN.md Section 6).
+struct ExperimentConfig {
+  std::string label;  ///< free-form tag echoed in reports
+
+  ProtocolKind protocol = ProtocolKind::kSpms;
+  TrafficPattern pattern = TrafficPattern::kAllToAll;
+
+  // --- deployment -----------------------------------------------------------
+  Deployment deployment = Deployment::kGrid;
+  std::size_t node_count = 169;
+  double grid_pitch_m = 5.0;  ///< grid pitch; also sets the random field's density
+  double zone_radius_m = 20.0;
+
+  // --- substrate models (Table 1) --------------------------------------------
+  net::MacParams mac;
+  net::EnergyModelParams energy;
+  core::ProtocolParams proto;
+  core::SpmsExtensions spms_ext;  ///< future-work extensions (off by default)
+  core::TrafficParams traffic;
+  routing::DbfParams dbf;
+
+  // --- failures ---------------------------------------------------------------
+  bool inject_failures = false;
+  net::FailureParams failure;
+
+  // --- mobility ---------------------------------------------------------------
+  bool mobility = false;
+  net::MobilityParams mobility_params;  ///< field_side_m is overridden by the builder
+
+  // --- cluster pattern ---------------------------------------------------------
+  double cluster_p_other = 0.05;  ///< interest probability for zone bystanders
+
+  // --- run control ---------------------------------------------------------------
+  std::uint64_t seed = 1;
+  /// Failure/mobility processes stop initiating events at this horizon;
+  /// protocol traffic then drains to quiescence.
+  sim::Duration activity_horizon = sim::Duration::ms(100.0);
+  /// Hard event budget (runaway guard).
+  std::size_t max_events = 200'000'000;
+};
+
+}  // namespace spms::exp

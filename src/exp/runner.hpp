@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/config.hpp"
+#include "exp/scenario.hpp"
+#include "net/energy.hpp"
+#include "net/network.hpp"
+#include "routing/bellman_ford.hpp"
+
+/// \file runner.hpp
+/// Executes experiments and condenses each run into the numbers the paper's
+/// tables and figures report.
+
+namespace spms::exp {
+
+/// Aggregated outcome of one run.
+struct RunResult {
+  std::string protocol;
+  std::string label;
+  std::size_t nodes = 0;
+  double zone_radius_m = 0.0;
+
+  // Workload / delivery.
+  std::size_t items_published = 0;
+  std::size_t expected_deliveries = 0;
+  std::size_t deliveries = 0;
+  double delivery_ratio = 0.0;
+
+  // Delay (ms): the paper's metric — ADV sent at the source to DATA at the
+  // destination, averaged over all deliveries.
+  double mean_delay_ms = 0.0;
+  double p95_delay_ms = 0.0;
+  double max_delay_ms = 0.0;
+
+  // Energy (uJ = mW*ms).
+  net::EnergyBreakdown energy;
+  double energy_per_item_uj = 0.0;           ///< total (incl. routing) / items
+  double protocol_energy_per_item_uj = 0.0;  ///< dissemination traffic only
+
+  // Diagnostics.
+  net::NetCounters net_counters;
+  routing::DbfStats dbf_total;   ///< zeros for protocols without routing
+  std::uint64_t failures_injected = 0;
+  std::uint64_t mobility_epochs = 0;
+  std::uint64_t given_up = 0;
+  double sim_time_ms = 0.0;
+  std::size_t events_executed = 0;
+  bool event_limit_hit = false;
+};
+
+/// Builds, runs and summarizes one experiment.
+[[nodiscard]] RunResult run_experiment(const ExperimentConfig& config);
+
+/// Runs the same config across `seeds` and returns the per-seed results
+/// (callers average what they need; benches report means).
+[[nodiscard]] std::vector<RunResult> run_seeds(ExperimentConfig config,
+                                               const std::vector<std::uint64_t>& seeds);
+
+/// Averages the headline metrics of several runs of the same config.
+[[nodiscard]] RunResult average(const std::vector<RunResult>& runs);
+
+}  // namespace spms::exp

@@ -1,0 +1,123 @@
+#include "exp/scenario.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/flooding.hpp"
+#include "core/spin.hpp"
+#include "core/spms.hpp"
+#include "net/topology.hpp"
+
+namespace spms::exp {
+
+Scenario::Scenario(const ExperimentConfig& config) : config_(config) {
+  sim_ = std::make_unique<sim::Simulation>(config_.seed);
+
+  // Uniform-density deployment: a square grid sized to hold node_count
+  // points (extra grid slots simply unpopulated), or a uniform random
+  // scatter over a field of the same density.
+  const std::size_t side = net::grid_side_for(config_.node_count);
+  field_side_m_ = static_cast<double>(side - 1) * config_.grid_pitch_m;
+  std::vector<net::Point> positions;
+  switch (config_.deployment) {
+    case Deployment::kGrid:
+      positions = net::grid_deployment(side, config_.grid_pitch_m);
+      positions.resize(config_.node_count);
+      break;
+    case Deployment::kUniformRandom: {
+      auto rng = sim_->rng().fork(0xDE9107);
+      positions = net::random_deployment(config_.node_count, field_side_m_, rng);
+      break;
+    }
+  }
+
+  net_ = std::make_unique<net::Network>(*sim_, net::RadioTable::mica2(), config_.mac,
+                                        config_.energy, std::move(positions),
+                                        config_.zone_radius_m);
+
+  switch (config_.pattern) {
+    case TrafficPattern::kAllToAll:
+      interest_ = std::make_unique<core::AllToAllInterest>(net_->size());
+      break;
+    case TrafficPattern::kCluster:
+      interest_ = std::make_unique<core::ClusterInterest>(*net_, config_.zone_radius_m,
+                                                          config_.cluster_p_other,
+                                                          config_.seed ^ 0xC1057E8ull);
+      break;
+    case TrafficPattern::kSink: {
+      // The node nearest the field centre collects everything.
+      const net::Point centre{field_side_m_ / 2.0, field_side_m_ / 2.0};
+      net::NodeId sink{0};
+      double best = std::numeric_limits<double>::infinity();
+      for (std::uint32_t i = 0; i < net_->size(); ++i) {
+        const double d = distance(net_->position(net::NodeId{i}), centre);
+        if (d < best) {
+          best = d;
+          sink = net::NodeId{i};
+        }
+      }
+      interest_ = std::make_unique<core::SinkInterest>(sink);
+      break;
+    }
+  }
+
+  switch (config_.protocol) {
+    case ProtocolKind::kSpms:
+      // SPMS is the only protocol that runs DBF; the constructor performs
+      // the initial table build (charging its energy as kRouting).
+      routing_ = std::make_unique<routing::RoutingService>(*net_, config_.dbf);
+      protocol_ = std::make_unique<core::SpmsProtocol>(*sim_, *net_, *routing_, *interest_,
+                                                       config_.proto, config_.spms_ext);
+      break;
+    case ProtocolKind::kSpin:
+      protocol_ = std::make_unique<core::SpinProtocol>(*sim_, *net_, *interest_, config_.proto);
+      break;
+    case ProtocolKind::kFlooding:
+      protocol_ =
+          std::make_unique<core::FloodingProtocol>(*sim_, *net_, *interest_, config_.proto);
+      break;
+  }
+
+  collector_ = std::make_unique<core::Collector>();
+  protocol_->set_delivery_callback(
+      [collector = collector_.get()](net::NodeId node, net::DataId item, sim::TimePoint at) {
+        collector->record_delivery(node, item, at);
+      });
+
+  traffic_ = std::make_unique<core::TrafficGenerator>(*sim_, *net_, *protocol_, *interest_,
+                                                      *collector_, config_.traffic,
+                                                      config_.seed ^ 0x7AFF1Cu);
+
+  if (config_.inject_failures) {
+    failures_ = std::make_unique<net::FailureInjector>(*sim_, *net_, config_.failure);
+  }
+
+  if (config_.mobility) {
+    if (config_.pattern == TrafficPattern::kCluster) {
+      // ClusterInterest::wants() depends on positions; combining it with
+      // mobility would make interest time-varying, which the paper never
+      // does.
+      throw std::invalid_argument{"Scenario: mobility requires the all-to-all pattern"};
+    }
+    auto params = config_.mobility_params;
+    params.field_side_m = field_side_m_;
+    mobility_ = std::make_unique<net::MobilityProcess>(*sim_, *net_, params);
+    mobility_->set_on_moved([this] {
+      // "When a node moves …, the routing tables of its zone neighbors get
+      // updated through re-execution of the DBF."  SPIN keeps no tables.
+      if (routing_) routing_->rebuild();
+      protocol_->on_topology_changed();
+    });
+  }
+}
+
+void Scenario::start() {
+  const auto horizon = sim_->now() + config_.activity_horizon;
+  traffic_->start();
+  if (failures_) failures_->start(horizon);
+  if (mobility_) mobility_->start(horizon);
+}
+
+std::size_t Scenario::run() { return sim_->run(config_.max_events); }
+
+}  // namespace spms::exp

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Minimal aligned-table / CSV emitters for the bench binaries, which print
+/// the rows the paper's figures plot.
+
+namespace spms::exp {
+
+/// Column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  /// Appends a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Prints with padded columns, a header underline, and a trailing newline.
+  void print(std::ostream& os) const;
+
+  /// Prints as comma-separated values (quotes are the caller's problem —
+  /// cells here are numbers and plain words).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helper ("12.345").
+[[nodiscard]] std::string fmt(double v, int precision = 3);
+
+/// Percentage formatting helper ("12.3%").
+[[nodiscard]] std::string fmt_pct(double ratio, int precision = 1);
+
+}  // namespace spms::exp

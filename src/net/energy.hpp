@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+
+/// \file energy.hpp
+/// Per-node energy accounting.
+///
+/// Energy is tracked in microjoules (mW x ms).  Transmit energy is the
+/// level's RF output power times the airtime; receive energy uses a fixed
+/// receive power (the paper adopts Er = Em, the weakest level's power,
+/// citing [16]; it is configurable here).  Routing-protocol energy (the
+/// distributed Bellman-Ford traffic) is attributed separately so the
+/// mobility experiment (Fig. 12) can charge and report it.
+
+namespace spms::net {
+
+/// What a joule was spent on; used to split dissemination vs routing cost.
+enum class EnergyUse {
+  kProtocol,  ///< ADV/REQ/DATA traffic
+  kRouting,   ///< distance-vector (DBF) table building
+};
+
+/// Accumulates one node's energy expenditure in microjoules.
+class EnergyMeter {
+ public:
+  void add_tx(double uj, EnergyUse use) {
+    (use == EnergyUse::kProtocol ? protocol_tx_uj_ : routing_tx_uj_) += uj;
+  }
+  void add_rx(double uj, EnergyUse use) {
+    (use == EnergyUse::kProtocol ? protocol_rx_uj_ : routing_rx_uj_) += uj;
+  }
+
+  [[nodiscard]] double protocol_tx_uj() const { return protocol_tx_uj_; }
+  [[nodiscard]] double protocol_rx_uj() const { return protocol_rx_uj_; }
+  [[nodiscard]] double routing_tx_uj() const { return routing_tx_uj_; }
+  [[nodiscard]] double routing_rx_uj() const { return routing_rx_uj_; }
+
+  [[nodiscard]] double protocol_uj() const { return protocol_tx_uj_ + protocol_rx_uj_; }
+  [[nodiscard]] double routing_uj() const { return routing_tx_uj_ + routing_rx_uj_; }
+  [[nodiscard]] double total_uj() const { return protocol_uj() + routing_uj(); }
+
+  void reset() { *this = EnergyMeter{}; }
+
+ private:
+  double protocol_tx_uj_ = 0.0;
+  double protocol_rx_uj_ = 0.0;
+  double routing_tx_uj_ = 0.0;
+  double routing_rx_uj_ = 0.0;
+};
+
+/// Network-wide totals (sum of the per-node meters), produced by Network.
+struct EnergyBreakdown {
+  double protocol_tx_uj = 0.0;
+  double protocol_rx_uj = 0.0;
+  double routing_tx_uj = 0.0;
+  double routing_rx_uj = 0.0;
+
+  [[nodiscard]] double protocol_uj() const { return protocol_tx_uj + protocol_rx_uj; }
+  [[nodiscard]] double routing_uj() const { return routing_tx_uj + routing_rx_uj; }
+  [[nodiscard]] double total_uj() const { return protocol_uj() + routing_uj(); }
+};
+
+}  // namespace spms::net

@@ -1,0 +1,37 @@
+#include "net/failure.hpp"
+
+namespace spms::net {
+
+FailureInjector::FailureInjector(sim::Simulation& sim, Network& net, FailureParams params,
+                                 std::uint64_t stream)
+    : sim_(sim), net_(net), params_(params), rng_(sim.rng().fork(stream)) {}
+
+void FailureInjector::start(sim::TimePoint horizon) {
+  horizon_ = horizon;
+  for (std::size_t i = 0; i < net_.size(); ++i) {
+    schedule_failure(NodeId{static_cast<std::uint32_t>(i)});
+  }
+}
+
+void FailureInjector::schedule_failure(NodeId id) {
+  const auto wait = rng_.exponential(params_.mean_time_between_failures);
+  const auto when = sim_.now() + wait;
+  if (when > horizon_) return;  // renewal process ends at the horizon
+  sim_.at(when, [this, id] { crash(id); });
+}
+
+void FailureInjector::crash(NodeId id) {
+  if (!net_.is_up(id)) return;  // already down (shouldn't happen, but harmless)
+  ++failures_;
+  net_.set_up(id, false);
+  if (net_.simulation().trace().enabled()) {
+    net_.simulation().trace().emit(sim_.now(), "failure", "node down");
+  }
+  const auto repair = rng_.uniform(params_.repair_min, params_.repair_max);
+  sim_.after(repair, [this, id] {
+    net_.set_up(id, true);
+    schedule_failure(id);
+  });
+}
+
+}  // namespace spms::net

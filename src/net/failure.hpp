@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+
+/// \file failure.hpp
+/// Transient node-failure injection (paper Section 5.1.2).
+///
+/// "Nodes fail with an exponential inter-arrival time and stay failed for a
+/// time drawn from a uniform distribution (repair_min, repair_max). During
+/// the time of repair, any received message is dropped and any scheduled
+/// packet transfer is cancelled. We assume recovery is always successful."
+
+namespace spms::net {
+
+/// Parameters of the per-node crash/repair renewal process.
+struct FailureParams {
+  /// Mean time between failures of one node (Table 1: 50 ms).
+  sim::Duration mean_time_between_failures = sim::Duration::ms(50.0);
+  /// Repair time ~ Uniform(repair_min, repair_max); Table 1's MTTR of 10 ms
+  /// maps to Uniform(5 ms, 15 ms).
+  sim::Duration repair_min = sim::Duration::ms(5.0);
+  sim::Duration repair_max = sim::Duration::ms(15.0);
+};
+
+/// Drives independent transient-failure processes on every node.
+class FailureInjector {
+ public:
+  /// \param stream  RNG sub-stream id; keeps failure randomness independent
+  ///        of MAC backoff and traffic randomness.
+  FailureInjector(sim::Simulation& sim, Network& net, FailureParams params,
+                  std::uint64_t stream = 0xFA11);
+
+  /// Starts the process on every node.  No failure is *initiated* after
+  /// `horizon`, but a repair in flight always completes, so the network ends
+  /// the run fully up.
+  void start(sim::TimePoint horizon);
+
+  /// Number of crashes injected so far.
+  [[nodiscard]] std::uint64_t failures_injected() const { return failures_; }
+
+ private:
+  void schedule_failure(NodeId id);
+  void crash(NodeId id);
+
+  sim::Simulation& sim_;
+  Network& net_;
+  FailureParams params_;
+  sim::Rng rng_;
+  sim::TimePoint horizon_;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace spms::net

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+/// \file geometry.hpp
+/// 2-D geometry for node deployments.  Coordinates are metres.
+
+namespace spms::net {
+
+/// A point (or displacement) in the sensor field, in metres.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  auto operator<=>(const Point&) const = default;
+
+  friend constexpr Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+};
+
+/// Squared Euclidean distance (avoids the sqrt in hot inner loops).
+[[nodiscard]] inline double distance_sq(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance in metres.
+[[nodiscard]] inline double distance(Point a, Point b) {
+  return std::sqrt(distance_sq(a, b));
+}
+
+inline std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << "(" << p.x << "," << p.y << ")";
+}
+
+}  // namespace spms::net

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+/// \file ids.hpp
+/// Strong identifier types shared across the network and protocol layers.
+
+namespace spms::net {
+
+/// Identifies a node; also its index into the Network's node vector.
+struct NodeId {
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  std::uint32_t v = kInvalid;
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint32_t value) : v(value) {}
+
+  [[nodiscard]] constexpr bool valid() const { return v != kInvalid; }
+  auto operator<=>(const NodeId&) const = default;
+};
+
+/// Sentinel meaning "no node" / "broadcast destination".
+inline constexpr NodeId kNoNode{};
+
+/// Names one data item network-wide: the node that sensed it plus a per-node
+/// sequence number.  This doubles as the item's metadata descriptor — in the
+/// paper metadata "names the data"; equality of descriptors is all SPIN/SPMS
+/// need from the negotiation.
+struct DataId {
+  NodeId origin;
+  std::uint32_t seq = 0;
+
+  auto operator<=>(const DataId&) const = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, NodeId id) {
+  if (!id.valid()) return os << "n?";
+  return os << "n" << id.v;
+}
+
+inline std::ostream& operator<<(std::ostream& os, DataId d) {
+  return os << d.origin << "#" << d.seq;
+}
+
+}  // namespace spms::net
+
+template <>
+struct std::hash<spms::net::NodeId> {
+  std::size_t operator()(spms::net::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.v);
+  }
+};
+
+template <>
+struct std::hash<spms::net::DataId> {
+  std::size_t operator()(spms::net::DataId d) const noexcept {
+    const std::uint64_t key = (static_cast<std::uint64_t>(d.origin.v) << 32) | d.seq;
+    return std::hash<std::uint64_t>{}(key);
+  }
+};

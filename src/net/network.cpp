@@ -1,0 +1,267 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace spms::net {
+
+Network::Network(sim::Simulation& sim, RadioTable radio, MacParams mac, EnergyModelParams energy,
+                 std::vector<Point> positions, double zone_radius_m)
+    : sim_(sim),
+      radio_(std::move(radio)),
+      mac_(mac),
+      energy_(energy),
+      zone_radius_m_(zone_radius_m) {
+  if (positions.empty()) throw std::invalid_argument{"Network: empty deployment"};
+  if (zone_radius_m <= 0 || zone_radius_m > radio_.max_range()) {
+    throw std::invalid_argument{"Network: zone radius outside the radio's reach"};
+  }
+  nodes_.resize(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    nodes_[i].id = NodeId{static_cast<std::uint32_t>(i)};
+    nodes_[i].pos = positions[i];
+  }
+}
+
+std::vector<NodeId> Network::neighbors_within(NodeId center, double radius_m,
+                                              bool include_down) const {
+  const Point c = position(center);
+  const double r2 = radius_m * radius_m;
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_) {
+    if (n.id == center) continue;
+    if (!include_down && !n.up) continue;
+    if (distance_sq(n.pos, c) <= r2) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::size_t Network::contention_count(NodeId center, double radius_m) const {
+  const Point c = position(center);
+  const double r2 = radius_m * radius_m;
+  std::size_t count = 0;
+  for (const auto& n : nodes_) {
+    if (n.id == center || !n.up) continue;
+    if (distance_sq(n.pos, c) <= r2) ++count;
+  }
+  return count;
+}
+
+sim::Duration Network::airtime(std::size_t bytes) const {
+  return mac_.t_tx_per_byte * static_cast<std::int64_t>(bytes);
+}
+
+double Network::tx_energy_uj(std::size_t bytes, std::size_t lvl) const {
+  return radio_.level(lvl).power_mw * airtime(bytes).to_ms();
+}
+
+double Network::rx_energy_uj(std::size_t bytes) const {
+  return energy_.rx_power_mw * airtime(bytes).to_ms();
+}
+
+bool Network::send(NodeId from, Packet packet, double coverage_m, EnergyUse use) {
+  Node& n = nodes_.at(from.v);
+  if (!n.up) {
+    ++counters_.dropped_sender_down;
+    return false;
+  }
+  // Pad the engineered disc by a hair: unicast coverage is usually the
+  // exact receiver distance (send_to), and the sqrt/square round trip of
+  // that distance can land one ulp short of the delivery test, silently
+  // excluding the intended receiver on non-lattice deployments.
+  coverage_m += 1e-6;
+  const auto lvl = radio_.cheapest_level_for(coverage_m);
+  if (!lvl) {
+    ++counters_.dropped_out_of_range;
+    return false;
+  }
+  packet.src = from;
+  OutgoingFrame frame{std::move(packet), *lvl, coverage_m, use};
+  if (mac_.infinite_parallelism) {
+    send_unqueued(n, std::move(frame));
+    return true;
+  }
+  n.mac_queue.push_back(std::move(frame));
+  if (!n.mac_busy) mac_start_access(n);
+  return true;
+}
+
+sim::Duration Network::access_delay(const Node& n, const OutgoingFrame& f) {
+  sim::Duration wait = draw_backoff();
+  if (mac_.contention_g_ms > 0.0) {
+    // Analysis-style explicit contention term (Section 4.1's T_csma = G n^2).
+    const std::size_t contenders = contention_count(n.id, f.coverage_m);
+    wait += sim::Duration::ms(mac_.contention_g_ms * static_cast<double>(contenders) *
+                              static_cast<double>(contenders));
+  }
+  return wait;
+}
+
+void Network::send_unqueued(Node& n, OutgoingFrame frame) {
+  // Paper-style MAC: the frame neither waits for the node's earlier frames
+  // nor occupies the channel; it simply takes access-delay + airtime.
+  const NodeId id = n.id;
+  sim_.after(access_delay(n, frame), [this, id, frame = std::move(frame)] {
+    Node& sender = nodes_[id.v];
+    if (!sender.up) {
+      ++counters_.dropped_sender_down;  // crashed during the backoff
+      return;
+    }
+    sender.meter.add_tx(tx_energy_uj(frame.packet.size_bytes, frame.level), frame.use);
+    count_tx(frame.packet);
+    sim_.after(airtime(frame.packet.size_bytes),
+               [this, id, frame] { deliver_frame(nodes_[id.v], frame); });
+  });
+}
+
+bool Network::send_to(NodeId from, Packet packet, NodeId to, EnergyUse use) {
+  packet.dst = to;
+  return send(from, std::move(packet), distance_between(from, to), use);
+}
+
+sim::Duration Network::draw_backoff() {
+  if (mac_.num_slots <= 1) return sim::Duration::zero();
+  return mac_.slot_time * sim_.rng().uniform_int(0, mac_.num_slots - 1);
+}
+
+void Network::mac_start_access(Node& n) {
+  assert(!n.mac_queue.empty());
+  n.mac_busy = true;
+  NodeId id = n.id;
+  n.mac_event =
+      sim_.after(access_delay(n, n.mac_queue.front()), [this, id] { mac_try_send(nodes_[id.v]); });
+}
+
+void Network::mac_try_send(Node& n) {
+  assert(n.mac_busy && !n.mac_queue.empty());
+  if (mac_.carrier_sense && sim_.now() < n.channel_busy_until) {
+    // Channel busy: defer to the end of the busy period plus a fresh backoff
+    // (CSMA/CA without collision modelling; see DESIGN.md).
+    const auto retry_at = n.channel_busy_until + draw_backoff();
+    NodeId id = n.id;
+    n.mac_event = sim_.at(retry_at, [this, id] { mac_try_send(nodes_[id.v]); });
+    return;
+  }
+  mac_begin_tx(n);
+}
+
+void Network::mac_begin_tx(Node& n) {
+  assert(n.mac_busy && !n.mac_queue.empty());
+  const OutgoingFrame& f = n.mac_queue.front();
+  n.meter.add_tx(tx_energy_uj(f.packet.size_bytes, f.level), f.use);
+  count_tx(f.packet);
+  const auto end = sim_.now() + airtime(f.packet.size_bytes);
+  if (mac_.carrier_sense) {
+    // Occupy the channel across the coverage disc (the transmitter included).
+    if (end > n.channel_busy_until) n.channel_busy_until = end;
+    const double r2 = f.coverage_m * f.coverage_m;
+    for (auto& other : nodes_) {
+      if (other.id == n.id) continue;
+      if (distance_sq(other.pos, n.pos) <= r2 && end > other.channel_busy_until) {
+        other.channel_busy_until = end;
+      }
+    }
+  }
+  NodeId id = n.id;
+  n.mac_event = sim_.at(end, [this, id] { mac_complete_tx(nodes_[id.v]); });
+}
+
+void Network::deliver_frame(const Node& sender, const OutgoingFrame& frame) {
+  // Every alive node inside the engineered disc hears the frame.
+  const auto hearers = neighbors_within(sender.id, frame.coverage_m, /*include_down=*/false);
+  const Packet& p = frame.packet;
+  std::vector<NodeId> processors;
+  processors.reserve(hearers.size());
+  for (NodeId h : hearers) {
+    const bool addressed = p.is_broadcast() || p.dst == h;
+    if (addressed || energy_.charge_overhearing) {
+      nodes_[h.v].meter.add_rx(rx_energy_uj(p.size_bytes), frame.use);
+    }
+    if (addressed) processors.push_back(h);
+  }
+  if (processors.empty()) return;
+  // One event covers all receivers: t_proc is a constant, so their
+  // callbacks fire at the same instant; iteration order (ascending id)
+  // keeps runs deterministic.
+  sim_.after(mac_.t_proc, [this, processors = std::move(processors), pkt = frame.packet] {
+    for (NodeId h : processors) {
+      Node& r = nodes_[h.v];
+      if (!r.up) {
+        ++counters_.dropped_receiver_down;
+        continue;
+      }
+      if (r.agent != nullptr) {
+        ++counters_.deliveries;
+        r.agent->on_receive(pkt);
+      }
+    }
+  });
+}
+
+void Network::mac_complete_tx(Node& n) {
+  assert(n.mac_busy && !n.mac_queue.empty());
+  OutgoingFrame frame = std::move(n.mac_queue.front());
+  n.mac_queue.pop_front();
+
+  deliver_frame(n, frame);
+
+  // Advance the queue.
+  if (!n.mac_queue.empty()) {
+    mac_start_access(n);
+  } else {
+    n.mac_busy = false;
+    n.mac_event = sim::EventHandle{};
+  }
+}
+
+void Network::set_up(NodeId id, bool up) {
+  Node& n = nodes_.at(id.v);
+  if (n.up == up) return;
+  n.up = up;
+  if (!up) {
+    // Crash: lose the MAC queue and whatever phase was in progress.
+    sim_.cancel(n.mac_event);
+    n.mac_event = sim::EventHandle{};
+    n.mac_queue.clear();
+    n.mac_busy = false;
+    if (n.agent != nullptr) n.agent->on_down();
+  } else {
+    if (n.agent != nullptr) n.agent->on_up();
+  }
+}
+
+void Network::charge_tx(NodeId id, std::size_t bytes, double coverage_m, EnergyUse use) {
+  const auto lvl = radio_.cheapest_level_for(coverage_m);
+  if (!lvl) return;
+  nodes_.at(id.v).meter.add_tx(tx_energy_uj(bytes, *lvl), use);
+  counters_.tx_bytes += bytes;
+  ++counters_.tx_route;
+}
+
+void Network::charge_rx(NodeId id, std::size_t bytes, EnergyUse use) {
+  nodes_.at(id.v).meter.add_rx(rx_energy_uj(bytes), use);
+}
+
+EnergyBreakdown Network::energy() const {
+  EnergyBreakdown total;
+  for (const auto& n : nodes_) {
+    total.protocol_tx_uj += n.meter.protocol_tx_uj();
+    total.protocol_rx_uj += n.meter.protocol_rx_uj();
+    total.routing_tx_uj += n.meter.routing_tx_uj();
+    total.routing_rx_uj += n.meter.routing_rx_uj();
+  }
+  return total;
+}
+
+void Network::count_tx(const Packet& p) {
+  switch (p.type) {
+    case PacketType::kAdv: ++counters_.tx_adv; break;
+    case PacketType::kReq: ++counters_.tx_req; break;
+    case PacketType::kData: ++counters_.tx_data; break;
+    case PacketType::kRouteUpdate: ++counters_.tx_route; break;
+  }
+  counters_.tx_bytes += p.size_bytes;
+}
+
+}  // namespace spms::net

@@ -1,0 +1,170 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/node.hpp"
+#include "net/params.hpp"
+#include "net/radio.hpp"
+#include "sim/simulation.hpp"
+
+/// \file network.hpp
+/// The wireless network: nodes + medium + MAC + energy accounting.
+///
+/// Model (documented in DESIGN.md):
+///  * Transmissions use the cheapest discrete power level covering the
+///    requested distance; the "engineered coverage disc" of a transmission
+///    is exactly that distance — every alive node inside it hears the frame.
+///  * Channel access costs T_csma = G*n^2 (n = alive nodes in the disc)
+///    plus a uniform slotted backoff; a node transmits one frame at a time.
+///  * Airtime = bytes * t_tx_per_byte; propagation delay is zero (paper
+///    Section 4.1).  Receivers process a frame t_proc after it arrives.
+///  * A down node transmits nothing, hears nothing, and loses its MAC queue
+///    the moment it fails ("any scheduled packet transfer is cancelled").
+
+namespace spms::net {
+
+/// Aggregate traffic counters for a run (used by tests and benches).
+struct NetCounters {
+  std::uint64_t tx_adv = 0;
+  std::uint64_t tx_req = 0;
+  std::uint64_t tx_data = 0;
+  std::uint64_t tx_route = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t deliveries = 0;           ///< agent on_receive invocations
+  std::uint64_t dropped_sender_down = 0;  ///< send() while the sender is down
+  std::uint64_t dropped_out_of_range = 0; ///< requested disc beyond max range
+  std::uint64_t dropped_receiver_down = 0;///< receiver failed before processing
+
+  [[nodiscard]] std::uint64_t tx_total() const { return tx_adv + tx_req + tx_data + tx_route; }
+};
+
+/// Owns all nodes and simulates the shared wireless medium.
+class Network {
+ public:
+  /// \param zone_radius_m  the node's maximum transmission radius for this
+  ///        deployment (the paper's "zone" radius); must be covered by the
+  ///        radio table's strongest level.
+  /// \throws std::invalid_argument on an empty deployment or a zone radius
+  ///         beyond the radio's maximum range.
+  Network(sim::Simulation& sim, RadioTable radio, MacParams mac, EnergyModelParams energy,
+          std::vector<Point> positions, double zone_radius_m);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- queries ---------------------------------------------------------------
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id.v); }
+  [[nodiscard]] Point position(NodeId id) const { return node(id).pos; }
+  [[nodiscard]] bool is_up(NodeId id) const { return node(id).up; }
+  [[nodiscard]] double zone_radius() const { return zone_radius_m_; }
+  [[nodiscard]] const RadioTable& radio() const { return radio_; }
+  [[nodiscard]] const MacParams& mac_params() const { return mac_; }
+  [[nodiscard]] const EnergyModelParams& energy_params() const { return energy_; }
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+
+  /// Ids of nodes within `radius_m` of `center` (excluding `center` itself),
+  /// in ascending id order.  `include_down` keeps failed nodes in the list
+  /// (zone membership ignores transient failures; contention does not).
+  [[nodiscard]] std::vector<NodeId> neighbors_within(NodeId center, double radius_m,
+                                                     bool include_down = true) const;
+
+  /// Number of alive nodes strictly other than `center` within the disc;
+  /// the contention count n of the MAC model.
+  [[nodiscard]] std::size_t contention_count(NodeId center, double radius_m) const;
+
+  /// Euclidean distance between two nodes, metres.
+  [[nodiscard]] double distance_between(NodeId a, NodeId b) const {
+    return distance(position(a), position(b));
+  }
+
+  /// True when the node's local channel is idle and has been idle for at
+  /// least `window`.  Protocol timers use this to distinguish "my reply is
+  /// stuck behind traffic I can hear" from "my counterpart is dead": a
+  /// timeout on a channel that has been quiet for a full window indicates
+  /// loss, one during audible traffic merely indicates queueing.
+  [[nodiscard]] bool channel_quiet_for(NodeId id, sim::Duration window) const {
+    return sim_.now() - node(id).channel_busy_until >= window;
+  }
+
+  /// Earliest instant at which channel_quiet_for(id, window) could become
+  /// true given what has been heard so far; deferring timers sleep until
+  /// this instant instead of polling.
+  [[nodiscard]] sim::TimePoint channel_quiet_at(NodeId id, sim::Duration window) const {
+    return node(id).channel_busy_until + window;
+  }
+
+  // --- wiring ----------------------------------------------------------------
+  /// Installs the protocol agent for a node (non-owning).
+  void set_agent(NodeId id, Agent* agent) { nodes_.at(id.v).agent = agent; }
+
+  // --- transmission ----------------------------------------------------------
+  /// Broadcasts `packet` so that the disc of `coverage_m` metres around the
+  /// sender is covered.  Returns false (and counts a drop) if the sender is
+  /// down or the distance exceeds the radio's maximum range.
+  bool send(NodeId from, Packet packet, double coverage_m,
+            EnergyUse use = EnergyUse::kProtocol);
+
+  /// Unicast helper: addresses `packet` to `to` and engineers the coverage
+  /// disc to exactly the current sender-receiver distance.
+  bool send_to(NodeId from, Packet packet, NodeId to, EnergyUse use = EnergyUse::kProtocol);
+
+  // --- failures & mobility -----------------------------------------------------
+  /// Crashes or repairs a node, firing the agent hooks.  Idempotent.
+  void set_up(NodeId id, bool up);
+
+  /// Teleports a node (mobility model); routing rebuild is the caller's job.
+  void set_position(NodeId id, Point p) { nodes_.at(id.v).pos = p; }
+
+  // --- direct energy charging (used by the routing layer's DBF accounting) ----
+  /// Charges transmit energy for `bytes` at the cheapest level covering
+  /// `coverage_m`, without simulating a frame.
+  void charge_tx(NodeId id, std::size_t bytes, double coverage_m, EnergyUse use);
+  /// Charges receive energy for `bytes` at a node.
+  void charge_rx(NodeId id, std::size_t bytes, EnergyUse use);
+
+  // --- accounting --------------------------------------------------------------
+  [[nodiscard]] EnergyBreakdown energy() const;
+  [[nodiscard]] const NetCounters& counters() const { return counters_; }
+  [[nodiscard]] double node_energy_uj(NodeId id) const { return node(id).meter.total_uj(); }
+
+ private:
+  /// Airtime of `bytes` at the configured rate.
+  [[nodiscard]] sim::Duration airtime(std::size_t bytes) const;
+  /// TX energy (uJ) for `bytes` at level `lvl`.
+  [[nodiscard]] double tx_energy_uj(std::size_t bytes, std::size_t lvl) const;
+  /// RX energy (uJ) for `bytes`.
+  [[nodiscard]] double rx_energy_uj(std::size_t bytes) const;
+
+  /// Contention + backoff delay for a frame sent by `n` (the G*n^2 term
+  /// plus a random slotted backoff).
+  [[nodiscard]] sim::Duration access_delay(const Node& n, const OutgoingFrame& f);
+  /// Paper-style independent transmission (infinite_parallelism mode).
+  void send_unqueued(Node& n, OutgoingFrame frame);
+  /// Delivers a finished transmission to every alive node in its disc.
+  void deliver_frame(const Node& sender, const OutgoingFrame& frame);
+  /// Starts the CSMA access procedure for the head-of-queue frame.
+  void mac_start_access(Node& n);
+  /// Backoff elapsed: if the local channel is free, transmit; otherwise
+  /// defer to the end of the busy period plus a fresh backoff.
+  void mac_try_send(Node& n);
+  /// Channel acquired: charge energy, occupy the disc, start the airtime.
+  void mac_begin_tx(Node& n);
+  /// Airtime elapsed: deliver to the coverage disc, advance the queue.
+  void mac_complete_tx(Node& n);
+  /// A fresh random backoff duration.
+  [[nodiscard]] sim::Duration draw_backoff();
+
+  void count_tx(const Packet& p);
+
+  sim::Simulation& sim_;
+  RadioTable radio_;
+  MacParams mac_;
+  EnergyModelParams energy_;
+  std::vector<Node> nodes_;
+  double zone_radius_m_;
+  NetCounters counters_;
+};
+
+}  // namespace spms::net

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <deque>
+
+#include "net/energy.hpp"
+#include "net/geometry.hpp"
+#include "net/ids.hpp"
+#include "net/packet.hpp"
+#include "sim/scheduler.hpp"
+
+/// \file node.hpp
+/// A sensor node and the callback interface protocol agents implement.
+
+namespace spms::net {
+
+/// Interface the protocol layer implements, one agent per node.
+/// The network invokes on_receive after the receiver-side processing delay
+/// (T_proc); on_down/on_up bracket transient failures.
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  /// A frame addressed to this node (or broadcast) finished arriving and
+  /// has been processed by the radio/MAC.  Only called while the node is up.
+  virtual void on_receive(const Packet& packet) = 0;
+
+  /// The node just crashed: all its queued transmissions were discarded and
+  /// future receptions will be dropped until on_up().
+  virtual void on_down() {}
+
+  /// The node just recovered.
+  virtual void on_up() {}
+};
+
+/// One frame queued at a node's MAC, with its engineered coverage disc.
+struct OutgoingFrame {
+  Packet packet;
+  std::size_t level = 0;    ///< radio table index used (for TX power)
+  double coverage_m = 0.0;  ///< disc radius the transmission must cover
+  EnergyUse use = EnergyUse::kProtocol;
+};
+
+/// Per-node state owned by the Network.
+struct Node {
+  NodeId id;
+  Point pos;
+  bool up = true;
+
+  EnergyMeter meter;
+  Agent* agent = nullptr;  ///< non-owning; protocols outlive the run
+
+  // MAC state: one transmission at a time, FIFO queue behind it.
+  std::deque<OutgoingFrame> mac_queue;
+  bool mac_busy = false;
+  sim::EventHandle mac_event;  ///< pending access-delay or tx-complete event
+
+  /// Carrier sense: the local channel is occupied until this instant
+  /// (stamped by every transmission whose coverage disc includes the node).
+  /// Initialized far in the past so "never heard anything" counts as quiet
+  /// for any window the protocols might ask about.
+  sim::TimePoint channel_busy_until = sim::TimePoint::zero() - sim::Duration::seconds(3600);
+};
+
+}  // namespace spms::net

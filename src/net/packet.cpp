@@ -1,0 +1,18 @@
+#include "net/packet.hpp"
+
+namespace spms::net {
+
+std::ostream& operator<<(std::ostream& os, const Packet& p) {
+  os << to_string(p.type) << "[" << p.item << "] " << p.src << "->";
+  if (p.is_broadcast()) {
+    os << "*";
+  } else {
+    os << p.dst;
+  }
+  if (p.type == PacketType::kReq) {
+    os << " req=" << p.requester << " tgt=" << p.target << (p.direct ? " direct" : "");
+  }
+  return os;
+}
+
+}  // namespace spms::net

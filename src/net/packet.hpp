@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+#include "net/ids.hpp"
+
+/// \file packet.hpp
+/// The over-the-air packet.
+///
+/// One struct covers all protocol packet kinds (ADV/REQ/DATA plus the
+/// routing layer's distance-vector updates).  Fields unused by a kind stay
+/// at their defaults; a tagged variant hierarchy would buy type safety at
+/// the cost of making the hot delivery path allocate/dispatch — the packet
+/// count in a run reaches millions, so we keep it a flat value type.
+
+namespace spms::net {
+
+/// Packet kind, per the SPIN/SPMS protocol families.
+enum class PacketType {
+  kAdv,          ///< metadata advertisement (broadcast in the sender's zone)
+  kReq,          ///< request for a data item
+  kData,         ///< the data item itself
+  kRouteUpdate,  ///< distance-vector exchange of the routing layer
+};
+
+[[nodiscard]] constexpr const char* to_string(PacketType t) {
+  switch (t) {
+    case PacketType::kAdv: return "ADV";
+    case PacketType::kReq: return "REQ";
+    case PacketType::kData: return "DATA";
+    case PacketType::kRouteUpdate: return "RTUP";
+  }
+  return "?";
+}
+
+/// One frame in flight.
+struct Packet {
+  PacketType type = PacketType::kAdv;
+  DataId item;  ///< the data item this packet concerns
+
+  NodeId src;  ///< immediate transmitter (stamped by the network on send)
+  NodeId dst;  ///< immediate receiver; kNoNode == local broadcast
+
+  // --- REQ bookkeeping -----------------------------------------------------
+  NodeId requester;  ///< node that wants the data
+  NodeId target;     ///< node the REQ is ultimately addressed to (a holder)
+  bool direct = false;  ///< REQ sent as one direct (possibly high-power) hop;
+                        ///< the holder answers with a direct DATA (§3.5)
+  std::uint16_t attempt = 0;  ///< requester's (re)try counter; holders use it
+                              ///< to suppress duplicate service of stale REQs
+
+  /// Relay trail: node ids the packet has traversed so far (REQ) or the
+  /// remaining source route (DATA travelling back along the REQ's path).
+  /// Forwarded cross-zone ADVs use it as the metadata-courier trail.
+  std::vector<NodeId> route;
+
+  /// Pre-planned remaining hops of a cross-zone REQ (the reverse of the
+  /// courier trail that delivered the ADV, ending at the holder).  Relays
+  /// consume it front-first; empty means route by table toward `target`.
+  std::vector<NodeId> source_route;
+
+  std::size_t size_bytes = 0;  ///< frame size used for airtime and energy
+
+  [[nodiscard]] bool is_broadcast() const { return !dst.valid(); }
+};
+
+std::ostream& operator<<(std::ostream& os, const Packet& p);
+
+}  // namespace spms::net

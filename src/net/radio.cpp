@@ -1,0 +1,45 @@
+#include "net/radio.hpp"
+
+namespace spms::net {
+
+RadioTable::RadioTable(std::vector<PowerLevel> levels) : levels_(std::move(levels)) {
+  if (levels_.empty()) throw std::invalid_argument{"RadioTable: no levels"};
+  for (std::size_t i = 1; i < levels_.size(); ++i) {
+    if (levels_[i].power_mw >= levels_[i - 1].power_mw ||
+        levels_[i].range_m >= levels_[i - 1].range_m) {
+      throw std::invalid_argument{"RadioTable: levels must be strictly decreasing"};
+    }
+  }
+  for (const auto& l : levels_) {
+    if (l.power_mw <= 0 || l.range_m <= 0) {
+      throw std::invalid_argument{"RadioTable: power and range must be positive"};
+    }
+  }
+}
+
+RadioTable RadioTable::mica2() {
+  return RadioTable{{
+      {3.1622, 91.44},
+      {0.7943, 45.72},
+      {0.1995, 22.86},
+      {0.05, 11.28},
+      {0.0125, 5.48},
+  }};
+}
+
+std::optional<std::size_t> RadioTable::cheapest_level_for(double distance_m) const {
+  if (distance_m > max_range()) return std::nullopt;
+  // Walk from weakest to strongest; tables have ~5 entries so linear is fine.
+  for (std::size_t i = levels_.size(); i-- > 0;) {
+    if (levels_[i].range_m >= distance_m) return i;
+  }
+  return std::nullopt;  // unreachable given the max_range() check
+}
+
+std::optional<double> RadioTable::min_power_for(double distance_m) const {
+  const auto lvl = cheapest_level_for(distance_m);
+  if (!lvl) return std::nullopt;
+  return levels_[*lvl].power_mw;
+}
+
+}  // namespace spms::net

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+/// \file radio.hpp
+/// Transmit power model.
+///
+/// Sensor radios expose a small set of discrete output power levels; the
+/// paper (Table 1) uses the five levels of the MICA2 mote together with the
+/// distance each level covers.  SPMS's whole premise is picking the cheapest
+/// level that covers the next hop instead of always using the maximum.
+
+namespace spms::net {
+
+/// One transmit power setting: RF output power and the range it covers.
+struct PowerLevel {
+  double power_mw = 0.0;  ///< RF output power in milliwatts
+  double range_m = 0.0;   ///< reliable communication range in metres
+};
+
+/// An ordered table of power levels, strongest first (index 0 = level 1 of
+/// the paper).  Invariant: power and range are strictly decreasing.
+class RadioTable {
+ public:
+  /// \throws std::invalid_argument if levels are empty or not strictly
+  ///         decreasing in both power and range.
+  explicit RadioTable(std::vector<PowerLevel> levels);
+
+  /// The five MICA2 levels of the paper's Table 1:
+  /// 3.1622/0.7943/0.1995/0.05/0.0125 mW covering 91.44/45.72/22.86/11.28/5.48 m.
+  [[nodiscard]] static RadioTable mica2();
+
+  [[nodiscard]] std::size_t num_levels() const { return levels_.size(); }
+  [[nodiscard]] const PowerLevel& level(std::size_t idx) const { return levels_.at(idx); }
+  [[nodiscard]] std::span<const PowerLevel> levels() const { return levels_; }
+
+  /// Strongest level's range: the zone radius upper bound.
+  [[nodiscard]] double max_range() const { return levels_.front().range_m; }
+  /// Weakest level (E_m of the paper's analysis).
+  [[nodiscard]] const PowerLevel& weakest() const { return levels_.back(); }
+
+  /// Cheapest (weakest) level whose range covers `distance_m`; nullopt when
+  /// the distance exceeds the maximum range.
+  [[nodiscard]] std::optional<std::size_t> cheapest_level_for(double distance_m) const;
+
+  /// Minimum transmit power (mW) needed to cover `distance_m`; nullopt when
+  /// out of range.  This is the link weight used by the routing layer
+  /// ("the weight w on an edge (i,j) denotes the minimum power at which i
+  /// needs to transmit to reach j").
+  [[nodiscard]] std::optional<double> min_power_for(double distance_m) const;
+
+ private:
+  std::vector<PowerLevel> levels_;
+};
+
+}  // namespace spms::net

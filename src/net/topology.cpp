@@ -1,0 +1,33 @@
+#include "net/topology.hpp"
+
+#include <cmath>
+
+namespace spms::net {
+
+std::vector<Point> grid_deployment(std::size_t side, double pitch_m) {
+  std::vector<Point> pts;
+  pts.reserve(side * side);
+  for (std::size_t row = 0; row < side; ++row) {
+    for (std::size_t col = 0; col < side; ++col) {
+      pts.push_back(Point{static_cast<double>(col) * pitch_m, static_cast<double>(row) * pitch_m});
+    }
+  }
+  return pts;
+}
+
+std::vector<Point> random_deployment(std::size_t count, double field_side_m, sim::Rng& rng) {
+  std::vector<Point> pts;
+  pts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pts.push_back(Point{rng.uniform(0.0, field_side_m), rng.uniform(0.0, field_side_m)});
+  }
+  return pts;
+}
+
+std::size_t grid_side_for(std::size_t count) {
+  auto side = static_cast<std::size_t>(std::floor(std::sqrt(static_cast<double>(count))));
+  while (side * side < count) ++side;
+  return side;
+}
+
+}  // namespace spms::net

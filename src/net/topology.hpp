@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/geometry.hpp"
+#include "sim/random.hpp"
+
+/// \file topology.hpp
+/// Node deployment generators.
+///
+/// The paper uses "a sensor field with uniform density of nodes … as the
+/// number of nodes increases, the sensor field area increases".  A uniform
+/// grid gives exactly that and makes zone sizes predictable (the paper's
+/// n1=45 corresponds to a 5 m pitch at the 22.86 m radius); a uniform random
+/// deployment is provided for robustness experiments.
+
+namespace spms::net {
+
+/// Positions for a side x side grid with the given pitch (metres), lower
+/// left corner at the origin.
+[[nodiscard]] std::vector<Point> grid_deployment(std::size_t side, double pitch_m);
+
+/// `count` positions uniformly random in a square field of the given side
+/// length.
+[[nodiscard]] std::vector<Point> random_deployment(std::size_t count, double field_side_m,
+                                                   sim::Rng& rng);
+
+/// Smallest side s with s*s >= count (grid sizing helper).
+[[nodiscard]] std::size_t grid_side_for(std::size_t count);
+
+}  // namespace spms::net

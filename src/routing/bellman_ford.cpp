@@ -1,0 +1,205 @@
+#include "routing/bellman_ford.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+namespace spms::routing {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Advertised distance-vector state of one node during the DBF run.
+struct NodeVec {
+  // dest -> (cost, hops); the node's own id maps to (0, 0).
+  std::unordered_map<net::NodeId, std::pair<double, int>> dist;
+};
+
+}  // namespace
+
+RoutingService::RoutingService(net::Network& net, DbfParams params)
+    : net_(net), params_(params) {
+  rebuild();
+}
+
+DbfStats RoutingService::rebuild() {
+  zones_ = std::make_unique<ZoneMap>(net_);
+  const std::size_t n = net_.size();
+  tables_.assign(n, RoutingTable{});
+
+  // Cache link weights w(u,v) for v in zone(u); zone membership guarantees
+  // the link exists (zone radius <= max radio range).
+  std::vector<std::unordered_map<net::NodeId, double>> weight(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    const net::NodeId uid{static_cast<std::uint32_t>(u)};
+    for (const net::NodeId v : zones_->zone(uid)) {
+      const auto w = net_.radio().min_power_for(net_.distance_between(uid, v));
+      assert(w.has_value());
+      weight[u].emplace(v, *w);
+    }
+  }
+
+  // Initial vectors: self at cost 0; every zone neighbor via the direct link.
+  std::vector<NodeVec> vec(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    const net::NodeId uid{static_cast<std::uint32_t>(u)};
+    vec[u].dist.emplace(uid, std::make_pair(0.0, 0));
+    for (const net::NodeId v : zones_->zone(uid)) {
+      vec[u].dist.emplace(v, std::make_pair(weight[u].at(v), 1));
+    }
+  }
+
+  DbfStats stats;
+  const double energy_before = net_.energy().routing_uj();
+
+  bool changed = true;
+  while (changed && stats.rounds < params_.max_rounds) {
+    ++stats.rounds;
+    changed = false;
+
+    // Every node broadcasts its vector once per round; charge the traffic.
+    if (params_.charge_energy) {
+      for (std::size_t u = 0; u < n; ++u) {
+        const net::NodeId uid{static_cast<std::uint32_t>(u)};
+        const std::size_t bytes =
+            params_.header_bytes + params_.bytes_per_entry * (vec[u].dist.size() - 1);
+        net_.charge_tx(uid, bytes, net_.zone_radius(), net::EnergyUse::kRouting);
+        for (const net::NodeId v : zones_->zone(uid)) {
+          net_.charge_rx(v, bytes, net::EnergyUse::kRouting);
+        }
+        ++stats.messages;
+        stats.message_bytes += bytes;
+      }
+    } else {
+      stats.messages += n;
+    }
+
+    // Synchronous relaxation against the previous round's vectors.
+    std::vector<NodeVec> next = vec;
+    for (std::size_t u = 0; u < n; ++u) {
+      const net::NodeId uid{static_cast<std::uint32_t>(u)};
+      for (auto& [dest, entry] : next[u].dist) {
+        if (dest == uid) continue;
+        double best = entry.first;
+        int best_hops = entry.second;
+        for (const net::NodeId v : zones_->zone(uid)) {
+          const auto it = vec[v.v].dist.find(dest);
+          if (it == vec[v.v].dist.end()) continue;  // v does not advertise dest
+          const double cand = weight[u].at(v) + it->second.first;
+          const int cand_hops = it->second.second + 1;
+          // Tie-break on hop count then on neighbor id for determinism.
+          if (cand < best || (cand == best && cand_hops < best_hops)) {
+            best = cand;
+            best_hops = cand_hops;
+          }
+        }
+        if (best < entry.first || (best == entry.first && best_hops < entry.second)) {
+          entry = {best, best_hops};
+          changed = true;
+        }
+      }
+    }
+    vec = std::move(next);
+  }
+  stats.converged = !changed;
+
+  // Final tables: best and second-best (distinct first hop) per destination,
+  // derived from the converged neighbor vectors — exactly the "cost of going
+  // to the destination through each of its neighbors" the paper stores.
+  for (std::size_t u = 0; u < n; ++u) {
+    const net::NodeId uid{static_cast<std::uint32_t>(u)};
+    for (const net::NodeId dest : zones_->zone(uid)) {
+      Route best, second;
+      for (const net::NodeId v : zones_->zone(uid)) {
+        const auto it = vec[v.v].dist.find(dest);
+        if (it == vec[v.v].dist.end()) continue;
+        Route cand{v, weight[u].at(v) + it->second.first, it->second.second + 1};
+        const bool better_than_best =
+            cand.cost < best.cost ||
+            (cand.cost == best.cost && (cand.hops < best.hops ||
+                                        (cand.hops == best.hops && cand.next_hop < best.next_hop)));
+        if (better_than_best) {
+          second = best;
+          best = cand;
+        } else {
+          const bool better_than_second =
+              cand.cost < second.cost ||
+              (cand.cost == second.cost && (cand.hops < second.hops ||
+                                            (cand.hops == second.hops && cand.next_hop < second.next_hop)));
+          if (better_than_second) second = cand;
+        }
+      }
+      tables_[u].set(dest, RouteEntry{best, second});
+    }
+  }
+
+  stats.energy_uj = net_.energy().routing_uj() - energy_before;
+  last_stats_ = stats;
+  total_stats_.rounds += stats.rounds;
+  total_stats_.messages += stats.messages;
+  total_stats_.message_bytes += stats.message_bytes;
+  total_stats_.energy_uj += stats.energy_uj;
+  total_stats_.converged = stats.converged;
+  return stats;
+}
+
+std::optional<Route> dijkstra_reference(const net::Network& net, const ZoneMap& zones,
+                                        net::NodeId from, net::NodeId dest) {
+  if (!zones.in_zone(from, dest)) return std::nullopt;
+
+  // Vertex set: `from`, `dest`, and every node that has `dest` in its zone
+  // (the only nodes that can relay toward `dest` under zone-local routing).
+  const std::size_t n = net.size();
+  std::vector<bool> allowed(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::NodeId id{static_cast<std::uint32_t>(i)};
+    allowed[i] = (id == from) || (id == dest) || zones.in_zone(id, dest);
+  }
+
+  std::vector<double> dist(n, kInf);
+  std::vector<int> hops(n, 0);
+  std::vector<net::NodeId> first_hop(n);
+  std::vector<bool> done(n, false);
+  dist[from.v] = 0.0;
+
+  for (;;) {
+    // Extract-min (linear scan: reference code favours clarity).
+    std::size_t u = n;
+    double best = kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!done[i] && allowed[i] && dist[i] < best) {
+        best = dist[i];
+        u = i;
+      }
+    }
+    if (u == n) break;
+    done[u] = true;
+    const net::NodeId uid{static_cast<std::uint32_t>(u)};
+    if (uid == dest) break;
+    for (const net::NodeId v : zones.zone(uid)) {
+      if (!allowed[v.v] || done[v.v]) continue;
+      const auto w = net.radio().min_power_for(net.distance_between(uid, v));
+      if (!w) continue;
+      const double cand = dist[u] + *w;
+      const int cand_hops = hops[u] + 1;
+      const net::NodeId cand_first = (uid == from) ? v : first_hop[u];
+      const bool improves =
+          cand < dist[v.v] ||
+          (cand == dist[v.v] && (cand_hops < hops[v.v] ||
+                                 (cand_hops == hops[v.v] && cand_first < first_hop[v.v])));
+      if (improves) {
+        dist[v.v] = cand;
+        hops[v.v] = cand_hops;
+        first_hop[v.v] = cand_first;
+      }
+    }
+  }
+
+  if (dist[dest.v] == kInf) return std::nullopt;
+  return Route{first_hop[dest.v], dist[dest.v], hops[dest.v]};
+}
+
+}  // namespace spms::routing

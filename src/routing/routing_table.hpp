@@ -1,0 +1,71 @@
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <unordered_map>
+
+#include "net/ids.hpp"
+
+/// \file routing_table.hpp
+/// Per-node routing state produced by the distributed Bellman-Ford.
+///
+/// The paper: "Each entry of the routing table at each node has a
+/// destination field and the cost of going to the destination through each
+/// of its neighbors … In our implementation, the routing table keeps only
+/// the shortest (i.e., least cost) and the second shortest path to the
+/// destination which tolerates only one failure during the recovery
+/// window."  We store exactly that: the best route and the best route whose
+/// first hop differs from the best's.
+
+namespace spms::routing {
+
+/// One candidate path to a destination.
+struct Route {
+  net::NodeId next_hop;  ///< first hop; invalid means "no route"
+  double cost = std::numeric_limits<double>::infinity();  ///< sum of per-hop minimum TX powers (mW)
+  int hops = 0;  ///< path length in links
+
+  [[nodiscard]] bool valid() const { return next_hop.valid(); }
+};
+
+/// Best and second-best (distinct first hop) routes to one destination.
+struct RouteEntry {
+  Route best;
+  Route second;
+};
+
+/// Routes from one node to every destination in its zone.
+class RoutingTable {
+ public:
+  /// Looks up the entry for `dest`; nullptr when `dest` is outside the zone.
+  [[nodiscard]] const RouteEntry* find(net::NodeId dest) const {
+    const auto it = entries_.find(dest);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  /// Best route to `dest`, if any.
+  [[nodiscard]] std::optional<Route> best(net::NodeId dest) const {
+    const auto* e = find(dest);
+    if (e == nullptr || !e->best.valid()) return std::nullopt;
+    return e->best;
+  }
+
+  /// First hop of the best route to `dest`; invalid NodeId when unroutable.
+  [[nodiscard]] net::NodeId next_hop(net::NodeId dest) const {
+    const auto* e = find(dest);
+    return e != nullptr ? e->best.next_hop : net::kNoNode;
+  }
+
+  void set(net::NodeId dest, RouteEntry entry) { entries_[dest] = entry; }
+  void clear() { entries_.clear(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] const std::unordered_map<net::NodeId, RouteEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::unordered_map<net::NodeId, RouteEntry> entries_;
+};
+
+}  // namespace spms::routing

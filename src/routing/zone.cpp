@@ -1,0 +1,27 @@
+#include "routing/zone.hpp"
+
+#include <algorithm>
+
+namespace spms::routing {
+
+ZoneMap::ZoneMap(const net::Network& net) {
+  zones_.reserve(net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const net::NodeId id{static_cast<std::uint32_t>(i)};
+    zones_.push_back(net.neighbors_within(id, net.zone_radius(), /*include_down=*/true));
+  }
+}
+
+bool ZoneMap::in_zone(net::NodeId id, net::NodeId other) const {
+  const auto& z = zones_.at(id.v);
+  return std::binary_search(z.begin(), z.end(), other);
+}
+
+double ZoneMap::mean_zone_size() const {
+  if (zones_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& z : zones_) total += z.size();
+  return static_cast<double>(total) / static_cast<double>(zones_.size());
+}
+
+}  // namespace spms::routing

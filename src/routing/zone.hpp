@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "net/ids.hpp"
+#include "net/network.hpp"
+
+/// \file zone.hpp
+/// Zone membership.
+///
+/// "A zone for a node is the region that the node can reach by transmitting
+/// at the maximum power level.  The nodes which lie within a node's zone are
+/// called its zone neighbors."  Membership is geometric (down nodes stay
+/// members — transient failures are handled by protocol timers, not by
+/// routing rebuilds) and symmetric, because every node uses the same zone
+/// radius.
+
+namespace spms::routing {
+
+/// Snapshot of every node's zone-neighbor list, ascending id order.
+class ZoneMap {
+ public:
+  /// Builds the map from current node positions and the network zone radius.
+  explicit ZoneMap(const net::Network& net);
+
+  /// Zone neighbors of `id` (excludes `id` itself).
+  [[nodiscard]] const std::vector<net::NodeId>& zone(net::NodeId id) const {
+    return zones_.at(id.v);
+  }
+
+  /// True when `other` lies in `id`'s zone.
+  [[nodiscard]] bool in_zone(net::NodeId id, net::NodeId other) const;
+
+  [[nodiscard]] std::size_t node_count() const { return zones_.size(); }
+
+  /// Mean zone size (the n1 of the paper's analysis, for diagnostics).
+  [[nodiscard]] double mean_zone_size() const;
+
+ private:
+  std::vector<std::vector<net::NodeId>> zones_;
+};
+
+}  // namespace spms::routing

@@ -1,0 +1,80 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace spms::sim {
+
+EventHandle Scheduler::schedule_at(TimePoint at, EventFn fn) {
+  assert(fn);
+  if (at < now_) at = now_;
+  const std::uint64_t id = next_seq_++;
+  queue_.push(Entry{at, id, id, std::move(fn)});
+  return EventHandle{id};
+}
+
+EventHandle Scheduler::schedule_after(Duration d, EventFn fn) {
+  if (d < Duration::zero()) d = Duration::zero();
+  return schedule_at(now_ + d, std::move(fn));
+}
+
+void Scheduler::cancel(EventHandle h) {
+  if (h.valid()) cancelled_.insert(h.id);
+}
+
+bool Scheduler::pop_live(Entry& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the closure must be moved out, so we
+    // const_cast the entry we are about to pop.  This is safe because the
+    // entry is removed immediately afterwards.
+    auto& top = const_cast<Entry&>(queue_.top());
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    out = std::move(top);
+    queue_.pop();
+    return true;
+  }
+  return false;
+}
+
+bool Scheduler::run_one() {
+  Entry e;
+  if (!pop_live(e)) return false;
+  assert(e.at >= now_);
+  now_ = e.at;
+  e.fn();
+  return true;
+}
+
+std::size_t Scheduler::run_until(TimePoint until) {
+  std::size_t executed = 0;
+  Entry e;
+  while (!queue_.empty()) {
+    // Peek: stop before executing anything beyond the horizon.
+    if (queue_.top().at > until) break;
+    if (!pop_live(e)) break;
+    if (e.at > until) {
+      // The live event is beyond the horizon (a cancelled earlier one let us
+      // get here); push it back untouched.
+      queue_.push(std::move(e));
+      break;
+    }
+    now_ = e.at;
+    e.fn();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+std::size_t Scheduler::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && run_one()) ++executed;
+  limit_hit_ = executed >= max_events && pending() > 0;
+  return executed;
+}
+
+}  // namespace spms::sim

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file scheduler.hpp
+/// The event loop at the heart of the discrete-event simulator.
+///
+/// Events are closures ordered by (time, insertion sequence); ties on the
+/// clock break FIFO which makes runs deterministic.  Cancellation is lazy:
+/// cancelled ids are skipped when popped, so cancel() is O(1).
+
+namespace spms::sim {
+
+/// Callback invoked when an event fires.
+using EventFn = std::function<void()>;
+
+/// Opaque handle to a scheduled event; used only for cancellation.
+/// A default-constructed handle is invalid and safe to cancel (a no-op).
+struct EventHandle {
+  std::uint64_t id = 0;
+  [[nodiscard]] bool valid() const { return id != 0; }
+};
+
+/// Priority-queue event scheduler.
+///
+/// Usage:
+///   Scheduler s;
+///   s.schedule_after(Duration::ms(1.0), [&]{ ... });
+///   s.run();
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time (the firing time of the last executed event).
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at`.  Scheduling in the past is a
+  /// programming error and is clamped to `now()` (the event still runs).
+  EventHandle schedule_at(TimePoint at, EventFn fn);
+
+  /// Schedules `fn` after delay `d` from now.  Negative delays clamp to 0.
+  EventHandle schedule_after(Duration d, EventFn fn);
+
+  /// Cancels a pending event.  Cancelling an already-fired, already-
+  /// cancelled, or invalid handle is a harmless no-op.
+  void cancel(EventHandle h);
+
+  /// Runs the next pending event.  Returns false if the queue is empty.
+  bool run_one();
+
+  /// Runs events with firing time <= `until`.  Afterwards now() == `until`
+  /// unless the queue drained earlier.  Returns the number executed.
+  std::size_t run_until(TimePoint until);
+
+  /// Runs until the queue is empty.  Returns the number executed.
+  /// `max_events` guards against runaway feedback loops; hitting the guard
+  /// stops the loop (callers treat this as a failed run).
+  std::size_t run(std::size_t max_events = kDefaultMaxEvents);
+
+  /// Number of live (non-cancelled) pending events.
+  [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+  /// True if the guard in run() tripped.
+  [[nodiscard]] bool event_limit_hit() const { return limit_hit_; }
+
+  static constexpr std::size_t kDefaultMaxEvents = 500'000'000;
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq = 0;
+    std::uint64_t id = 0;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops the next non-cancelled entry into `out`; false if none remain.
+  bool pop_live(Entry& out);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  TimePoint now_;
+  std::uint64_t next_seq_ = 1;
+  bool limit_hit_ = false;
+};
+
+}  // namespace spms::sim

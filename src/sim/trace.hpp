@@ -1,0 +1,46 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+/// \file trace.hpp
+/// Structured tracing for simulations.
+///
+/// Protocol agents emit (time, category, message) records; tests install a
+/// collecting sink to assert on protocol behaviour, and the examples install
+/// a printing sink.  When no sink is installed, emit() is a cheap no-op
+/// (one branch), so tracing can stay in release builds.
+
+namespace spms::sim {
+
+/// One trace record.
+struct TraceEvent {
+  TimePoint at;
+  std::string category;  ///< e.g. "spms", "mac", "failure"
+  std::string message;
+};
+
+/// Trace hub: at most one sink, set by the owner of the simulation.
+class Trace {
+ public:
+  using Sink = std::function<void(const TraceEvent&)>;
+
+  /// Installs (or clears, with nullptr) the sink.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// True when a sink is installed; use to skip expensive formatting.
+  [[nodiscard]] bool enabled() const { return static_cast<bool>(sink_); }
+
+  /// Emits a record if a sink is installed.
+  void emit(TimePoint at, std::string_view category, std::string_view message) const {
+    if (sink_) sink_(TraceEvent{at, std::string{category}, std::string{message}});
+  }
+
+ private:
+  Sink sink_;
+};
+
+}  // namespace spms::sim

@@ -1,0 +1,24 @@
+#include "stats/percentiles.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace spms::stats {
+
+double Percentiles::quantile(double q) {
+  assert(q >= 0.0 && q <= 1.0);
+  if (xs_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  if (lo == hi) return xs_[lo];
+  const double frac = pos - static_cast<double>(lo);
+  return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
+}
+
+}  // namespace spms::stats

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file percentiles.hpp
+/// Exact percentile computation over a retained sample vector.
+///
+/// The experiment sizes in this repository (≤ a few million delay samples)
+/// fit comfortably in memory, so we keep exact samples instead of a sketch;
+/// quantile() uses linear interpolation between order statistics (the same
+/// convention as numpy's default).
+
+namespace spms::stats {
+
+/// Retains samples and answers arbitrary quantile queries.
+class Percentiles {
+ public:
+  /// Adds one observation.
+  void add(double x) { xs_.push_back(x); sorted_ = false; }
+
+  /// Number of observations.
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+
+  /// q-quantile for q in [0,1]; 0 observations -> 0.0.
+  /// Not const: sorts lazily on first query after inserts.
+  [[nodiscard]] double quantile(double q);
+
+  /// Convenience accessors.
+  [[nodiscard]] double median() { return quantile(0.5); }
+  [[nodiscard]] double p95() { return quantile(0.95); }
+  [[nodiscard]] double p99() { return quantile(0.99); }
+
+  /// Read-only view of the raw samples (unsorted order not guaranteed).
+  [[nodiscard]] const std::vector<double>& samples() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+  bool sorted_ = false;
+};
+
+}  // namespace spms::stats

@@ -1,0 +1,14 @@
+#include "stats/summary.hpp"
+
+#include <cmath>
+
+namespace spms::stats {
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+std::ostream& operator<<(std::ostream& os, const Summary& s) {
+  return os << "n=" << s.count() << " mean=" << s.mean() << " sd=" << s.stddev()
+            << " min=" << s.min() << " max=" << s.max();
+}
+
+}  // namespace spms::stats

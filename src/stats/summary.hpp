@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <ostream>
+
+/// \file summary.hpp
+/// Streaming scalar statistics (Welford's algorithm).
+
+namespace spms::stats {
+
+/// Accumulates count / mean / variance / min / max in O(1) memory.
+/// Numerically stable for long runs (Welford update).
+class Summary {
+ public:
+  /// Adds one observation.
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  /// Merges another summary into this one (parallel Welford combine).
+  void merge(const Summary& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) { *this = o; return; }
+    const double delta = o.mean_ - mean_;
+    const auto n = static_cast<double>(n_), m = static_cast<double>(o.n_);
+    m2_ += o.m2_ + delta * delta * n * m / (n + m);
+    mean_ = (n * mean_ + m * o.mean_) / (n + m);
+    n_ += o.n_;
+    sum_ += o.sum_;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than two observations.
+  [[nodiscard]] double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+std::ostream& operator<<(std::ostream& os, const Summary& s);
+
+}  // namespace spms::stats

@@ -1,0 +1,72 @@
+#include "core/flooding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/collector.hpp"
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+
+namespace spms::core {
+namespace {
+
+net::MacParams quiet_mac() {
+  net::MacParams mac;
+  mac.num_slots = 1;
+  return mac;
+}
+
+struct Rig {
+  Rig(std::vector<net::Point> pts, double zone_radius, std::size_t n)
+      : sim(1),
+        net(sim, net::RadioTable::mica2(), quiet_mac(), {}, std::move(pts), zone_radius),
+        interest(n),
+        proto(sim, net, interest, ProtocolParams{}) {
+    proto.set_delivery_callback([this](net::NodeId node, net::DataId item, sim::TimePoint at) {
+      collector.record_delivery(node, item, at);
+    });
+  }
+  net::DataId publish(net::NodeId source) {
+    const net::DataId item{source, 0};
+    collector.record_publish(item, sim.now(), interest.expected_count(item));
+    proto.publish(source, item);
+    return item;
+  }
+  sim::Simulation sim;
+  net::Network net;
+  AllToAllInterest interest;
+  FloodingProtocol proto;
+  Collector collector;
+};
+
+TEST(FloodingTest, DeliversToEveryone) {
+  std::vector<net::Point> pts;
+  for (int i = 0; i < 9; ++i) pts.push_back({5.0 * i, 0.0});
+  Rig rig(std::move(pts), 12.0, 9);
+  rig.publish(net::NodeId{0});
+  rig.sim.run();
+  EXPECT_TRUE(rig.collector.all_delivered());
+}
+
+TEST(FloodingTest, EveryNodeRebroadcastsExactlyOnce) {
+  Rig rig({{0, 0}, {5, 0}, {10, 0}}, 22.0, 3);
+  rig.publish(net::NodeId{0});
+  rig.sim.run();
+  // Implosion: 3 DATA transmissions for 2 deliveries, no ADV/REQ at all.
+  EXPECT_EQ(rig.net.counters().tx_data, 3u);
+  EXPECT_EQ(rig.net.counters().tx_adv, 0u);
+  EXPECT_EQ(rig.net.counters().tx_req, 0u);
+}
+
+TEST(FloodingTest, SendsFullDataFrames) {
+  // The whole point of SPIN's negotiation: flooding pays DATA airtime
+  // everywhere.  40-byte frames at the zone power level from every node.
+  Rig rig({{0, 0}, {5, 0}}, 12.0, 2);
+  rig.publish(net::NodeId{0});
+  rig.sim.run();
+  const double data_uj = 0.1995 * 40 * 0.05;  // level-3 power * 40 B * 0.05 ms/B
+  EXPECT_NEAR(rig.net.node(net::NodeId{0}).meter.protocol_tx_uj(), data_uj, 1e-9);
+  EXPECT_NEAR(rig.net.node(net::NodeId{1}).meter.protocol_tx_uj(), data_uj, 1e-9);
+}
+
+}  // namespace
+}  // namespace spms::core

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+
+/// Seed-sweep invariants: the paper's correctness properties must hold for
+/// any seed, not just the ones the other tests happen to use.
+
+namespace spms::exp {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, FailureFreeInvariantsHoldForEverySeed) {
+  for (const auto kind : {ProtocolKind::kSpms, ProtocolKind::kSpin}) {
+    ExperimentConfig cfg;
+    cfg.protocol = kind;
+    cfg.node_count = 16;
+    cfg.zone_radius_m = 15.0;
+    cfg.traffic.packets_per_node = 1;
+    cfg.seed = GetParam();
+    const auto r = run_experiment(cfg);
+    // Completeness: every interested node gets every item.
+    EXPECT_DOUBLE_EQ(r.delivery_ratio, 1.0) << to_string(kind) << " seed " << GetParam();
+    EXPECT_EQ(r.given_up, 0u);
+    // Conservation-style sanity: energy strictly positive, bounded per item;
+    // one ADV per holder at minimum.
+    EXPECT_GT(r.protocol_energy_per_item_uj, 0.0);
+    EXPECT_LT(r.protocol_energy_per_item_uj, 1e4);
+    EXPECT_GE(r.net_counters.tx_adv, r.items_published);
+    // No runaway loops.
+    EXPECT_FALSE(r.event_limit_hit);
+    EXPECT_GT(r.mean_delay_ms, 0.0);
+    EXPECT_GE(r.max_delay_ms, r.mean_delay_ms);
+  }
+}
+
+TEST_P(SeedSweep, SpmsBeatsSpinOnProtocolEnergyForEverySeed) {
+  ExperimentConfig cfg;
+  cfg.node_count = 36;
+  cfg.zone_radius_m = 20.0;
+  cfg.traffic.packets_per_node = 1;
+  cfg.seed = GetParam();
+  cfg.protocol = ProtocolKind::kSpms;
+  const auto spms_run = run_experiment(cfg);
+  cfg.protocol = ProtocolKind::kSpin;
+  const auto spin_run = run_experiment(cfg);
+  EXPECT_LT(spms_run.protocol_energy_per_item_uj, spin_run.protocol_energy_per_item_uj)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace spms::exp

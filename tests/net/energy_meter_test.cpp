@@ -1,0 +1,61 @@
+#include "net/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace spms::net {
+namespace {
+
+TEST(EnergyMeterTest, StartsAtZero) {
+  EnergyMeter m;
+  EXPECT_DOUBLE_EQ(m.total_uj(), 0.0);
+  EXPECT_DOUBLE_EQ(m.protocol_uj(), 0.0);
+  EXPECT_DOUBLE_EQ(m.routing_uj(), 0.0);
+}
+
+TEST(EnergyMeterTest, SeparatesUseClasses) {
+  EnergyMeter m;
+  m.add_tx(1.0, EnergyUse::kProtocol);
+  m.add_rx(2.0, EnergyUse::kProtocol);
+  m.add_tx(4.0, EnergyUse::kRouting);
+  m.add_rx(8.0, EnergyUse::kRouting);
+  EXPECT_DOUBLE_EQ(m.protocol_tx_uj(), 1.0);
+  EXPECT_DOUBLE_EQ(m.protocol_rx_uj(), 2.0);
+  EXPECT_DOUBLE_EQ(m.routing_tx_uj(), 4.0);
+  EXPECT_DOUBLE_EQ(m.routing_rx_uj(), 8.0);
+  EXPECT_DOUBLE_EQ(m.protocol_uj(), 3.0);
+  EXPECT_DOUBLE_EQ(m.routing_uj(), 12.0);
+  EXPECT_DOUBLE_EQ(m.total_uj(), 15.0);
+}
+
+TEST(EnergyMeterTest, AccumulatesAndResets) {
+  EnergyMeter m;
+  for (int i = 0; i < 10; ++i) m.add_tx(0.5, EnergyUse::kProtocol);
+  EXPECT_DOUBLE_EQ(m.protocol_tx_uj(), 5.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.total_uj(), 0.0);
+}
+
+TEST(EnergyBreakdownTest, Aggregates) {
+  EnergyBreakdown b;
+  b.protocol_tx_uj = 1.0;
+  b.protocol_rx_uj = 2.0;
+  b.routing_tx_uj = 3.0;
+  b.routing_rx_uj = 4.0;
+  EXPECT_DOUBLE_EQ(b.protocol_uj(), 3.0);
+  EXPECT_DOUBLE_EQ(b.routing_uj(), 7.0);
+  EXPECT_DOUBLE_EQ(b.total_uj(), 10.0);
+}
+
+TEST(NetCountersTest, TotalSumsAllTypes) {
+  NetCounters c;
+  c.tx_adv = 1;
+  c.tx_req = 2;
+  c.tx_data = 4;
+  c.tx_route = 8;
+  EXPECT_EQ(c.tx_total(), 15u);
+}
+
+}  // namespace
+}  // namespace spms::net

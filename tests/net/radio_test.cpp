@@ -1,0 +1,75 @@
+#include "net/radio.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spms::net {
+namespace {
+
+TEST(RadioTableTest, Mica2TableMatchesPaper) {
+  const auto radio = RadioTable::mica2();
+  ASSERT_EQ(radio.num_levels(), 5u);
+  EXPECT_DOUBLE_EQ(radio.level(0).power_mw, 3.1622);
+  EXPECT_DOUBLE_EQ(radio.level(0).range_m, 91.44);
+  EXPECT_DOUBLE_EQ(radio.level(4).power_mw, 0.0125);
+  EXPECT_DOUBLE_EQ(radio.level(4).range_m, 5.48);
+  EXPECT_DOUBLE_EQ(radio.max_range(), 91.44);
+  EXPECT_DOUBLE_EQ(radio.weakest().power_mw, 0.0125);
+}
+
+TEST(RadioTableTest, CheapestLevelPicksWeakestCovering) {
+  const auto radio = RadioTable::mica2();
+  EXPECT_EQ(radio.cheapest_level_for(5.0), 4u);     // within 5.48
+  EXPECT_EQ(radio.cheapest_level_for(5.48), 4u);    // boundary inclusive
+  EXPECT_EQ(radio.cheapest_level_for(5.49), 3u);    // just beyond
+  EXPECT_EQ(radio.cheapest_level_for(20.0), 2u);    // the reference zone radius
+  EXPECT_EQ(radio.cheapest_level_for(50.0), 0u);
+  EXPECT_EQ(radio.cheapest_level_for(91.44), 0u);
+  EXPECT_EQ(radio.cheapest_level_for(91.45), std::nullopt);
+}
+
+TEST(RadioTableTest, CheapestLevelForZeroDistance) {
+  const auto radio = RadioTable::mica2();
+  EXPECT_EQ(radio.cheapest_level_for(0.0), 4u);  // weakest level suffices
+}
+
+TEST(RadioTableTest, MinPowerMatchesLevel) {
+  const auto radio = RadioTable::mica2();
+  EXPECT_DOUBLE_EQ(radio.min_power_for(5.0).value(), 0.0125);
+  EXPECT_DOUBLE_EQ(radio.min_power_for(10.0).value(), 0.05);
+  EXPECT_DOUBLE_EQ(radio.min_power_for(91.44).value(), 3.1622);
+  EXPECT_EQ(radio.min_power_for(100.0), std::nullopt);
+}
+
+TEST(RadioTableTest, MinPowerIsMonotoneInDistance) {
+  const auto radio = RadioTable::mica2();
+  double prev = 0.0;
+  for (double d = 1.0; d <= 91.0; d += 1.0) {
+    const double p = radio.min_power_for(d).value();
+    EXPECT_GE(p, prev) << "power must not decrease with distance, d=" << d;
+    prev = p;
+  }
+}
+
+TEST(RadioTableTest, RejectsEmptyTable) {
+  EXPECT_THROW(RadioTable{std::vector<PowerLevel>{}}, std::invalid_argument);
+}
+
+TEST(RadioTableTest, RejectsNonDecreasingLevels) {
+  EXPECT_THROW(RadioTable({{1.0, 10.0}, {2.0, 5.0}}), std::invalid_argument);   // power up
+  EXPECT_THROW(RadioTable({{2.0, 10.0}, {1.0, 20.0}}), std::invalid_argument);  // range up
+  EXPECT_THROW(RadioTable({{2.0, 10.0}, {2.0, 5.0}}), std::invalid_argument);   // power equal
+}
+
+TEST(RadioTableTest, RejectsNonPositiveValues) {
+  EXPECT_THROW(RadioTable({{0.0, 10.0}}), std::invalid_argument);
+  EXPECT_THROW(RadioTable({{1.0, -5.0}}), std::invalid_argument);
+}
+
+TEST(RadioTableTest, SingleLevelTableWorks) {
+  const RadioTable radio({{1.0, 30.0}});
+  EXPECT_EQ(radio.cheapest_level_for(29.0), 0u);
+  EXPECT_EQ(radio.cheapest_level_for(31.0), std::nullopt);
+}
+
+}  // namespace
+}  // namespace spms::net

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "net/topology.hpp"
+#include "routing/bellman_ford.hpp"
+#include "sim/simulation.hpp"
+
+/// Property tests for the second-best route semantics: for every
+/// (source, destination), the stored second-best entry must equal the best
+/// cost achievable through any first hop other than the best route's first
+/// hop, computed from the converged distance vectors — the distance-vector
+/// definition of "the cost of going to the destination through each of its
+/// neighbors" (paper Section 3.2).
+
+namespace spms::routing {
+namespace {
+
+net::MacParams quiet_mac() {
+  net::MacParams mac;
+  mac.num_slots = 1;
+  return mac;
+}
+
+class SecondBestSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SecondBestSweep, MatchesExhaustiveDistinctFirstHopMinimum) {
+  sim::Simulation sim{GetParam()};
+  auto pts = net::random_deployment(25, 35.0, sim.rng());
+  net::Network net(sim, net::RadioTable::mica2(), quiet_mac(), {}, std::move(pts), 20.0);
+  RoutingService routing(net);
+  ASSERT_TRUE(routing.last_stats().converged);
+  const auto& zones = routing.zones();
+
+  for (std::uint32_t a = 0; a < net.size(); ++a) {
+    const net::NodeId from{a};
+    for (const net::NodeId dest : zones.zone(from)) {
+      const auto* entry = routing.table(from).find(dest);
+      ASSERT_NE(entry, nullptr);
+      ASSERT_TRUE(entry->best.valid());
+
+      // Exhaustive recomputation: cost through first hop v equals
+      // w(from,v) + best_v(dest) where best_v comes from v's own table
+      // (v == dest contributes w(from,dest) directly).
+      double best = std::numeric_limits<double>::infinity();
+      double second = best;
+      net::NodeId best_hop;
+      for (const net::NodeId v : zones.zone(from)) {
+        const auto w = net.radio().min_power_for(net.distance_between(from, v));
+        ASSERT_TRUE(w.has_value());
+        double via = std::numeric_limits<double>::infinity();
+        if (v == dest) {
+          via = *w;
+        } else if (const auto r = routing.route(v, dest)) {
+          via = *w + r->cost;
+        }
+        if (via < best) {
+          second = best;
+          best = via;
+          best_hop = v;
+        } else if (via < second) {
+          second = via;
+        }
+      }
+
+      EXPECT_NEAR(entry->best.cost, best, 1e-12) << from << "->" << dest;
+      if (entry->second.valid()) {
+        EXPECT_NE(entry->second.next_hop, entry->best.next_hop);
+        EXPECT_NEAR(entry->second.cost, second, 1e-12) << from << "->" << dest;
+        EXPECT_GE(entry->second.cost, entry->best.cost);
+      } else {
+        // No alternative first hop exists (isolated pair).
+        EXPECT_TRUE(std::isinf(second)) << from << "->" << dest;
+      }
+      (void)best_hop;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SecondBestSweep, ::testing::Values(11, 12, 13));
+
+TEST(SecondBestTest, PairHasNoSecondRoute) {
+  sim::Simulation sim{1};
+  net::Network net(sim, net::RadioTable::mica2(), quiet_mac(), {}, {{0, 0}, {5, 0}}, 12.0);
+  RoutingService routing(net);
+  const auto* entry = routing.table(net::NodeId{0}).find(net::NodeId{1});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->best.valid());
+  EXPECT_FALSE(entry->second.valid());  // only one possible first hop
+}
+
+TEST(SecondBestTest, TriangleHasBothRoutes) {
+  // Equilateral-ish triangle: direct link plus a two-hop alternative.
+  sim::Simulation sim{1};
+  net::Network net(sim, net::RadioTable::mica2(), quiet_mac(), {},
+                   {{0, 0}, {5, 0}, {2.5, 4.33}}, 12.0);
+  RoutingService routing(net);
+  for (std::uint32_t a = 0; a < 3; ++a) {
+    for (std::uint32_t b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      const auto* entry = routing.table(net::NodeId{a}).find(net::NodeId{b});
+      ASSERT_NE(entry, nullptr);
+      EXPECT_TRUE(entry->best.valid());
+      EXPECT_TRUE(entry->second.valid()) << a << "->" << b;
+      EXPECT_NE(entry->best.next_hop, entry->second.next_hop);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spms::routing

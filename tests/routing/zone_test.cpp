@@ -1,0 +1,66 @@
+#include "routing/zone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+
+namespace spms::routing {
+namespace {
+
+net::MacParams quiet_mac() {
+  net::MacParams mac;
+  mac.num_slots = 1;
+  return mac;
+}
+
+TEST(ZoneMapTest, LineZones) {
+  sim::Simulation sim{1};
+  std::vector<net::Point> pts{{0, 0}, {5, 0}, {10, 0}, {15, 0}};
+  net::Network net(sim, net::RadioTable::mica2(), quiet_mac(), {}, pts, 11.0);
+  ZoneMap zones(net);
+  EXPECT_EQ(zones.zone(net::NodeId{0}).size(), 2u);  // 5, 10
+  EXPECT_EQ(zones.zone(net::NodeId{1}).size(), 3u);  // all others within 11
+  EXPECT_TRUE(zones.in_zone(net::NodeId{0}, net::NodeId{2}));
+  EXPECT_FALSE(zones.in_zone(net::NodeId{0}, net::NodeId{3}));
+}
+
+TEST(ZoneMapTest, MembershipIsSymmetric) {
+  sim::Simulation sim{1};
+  net::Network net(sim, net::RadioTable::mica2(), quiet_mac(), {},
+                   net::grid_deployment(5, 7.0), 20.0);
+  ZoneMap zones(net);
+  for (std::uint32_t a = 0; a < net.size(); ++a) {
+    for (std::uint32_t b = 0; b < net.size(); ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(zones.in_zone(net::NodeId{a}, net::NodeId{b}),
+                zones.in_zone(net::NodeId{b}, net::NodeId{a}));
+    }
+  }
+}
+
+TEST(ZoneMapTest, DownNodesRemainMembers) {
+  // Zone membership is geometric; transient failures do not rebuild routing.
+  sim::Simulation sim{1};
+  std::vector<net::Point> pts{{0, 0}, {5, 0}, {10, 0}};
+  net::Network net(sim, net::RadioTable::mica2(), quiet_mac(), {}, pts, 11.0);
+  net.set_up(net::NodeId{1}, false);
+  ZoneMap zones(net);
+  EXPECT_TRUE(zones.in_zone(net::NodeId{0}, net::NodeId{1}));
+}
+
+TEST(ZoneMapTest, MeanZoneSizeMatchesPaperReference) {
+  // 169 nodes, 5 m pitch, 20 m radius: interior zones have 48 members
+  // (the paper's n1 = 45); edges shrink the mean.
+  sim::Simulation sim{1};
+  net::Network net(sim, net::RadioTable::mica2(), quiet_mac(), {},
+                   net::grid_deployment(13, 5.0), 20.0);
+  ZoneMap zones(net);
+  EXPECT_GT(zones.mean_zone_size(), 25.0);
+  EXPECT_LT(zones.mean_zone_size(), 48.0);
+  // Centre node sees the full 48.
+  EXPECT_EQ(zones.zone(net::NodeId{6 * 13 + 6}).size(), 48u);
+}
+
+}  // namespace
+}  // namespace spms::routing

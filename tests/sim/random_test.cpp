@@ -1,0 +1,132 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace spms::sim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, SeedZeroIsUsable) {
+  Rng r{0};
+  std::set<std::uint64_t> vals;
+  for (int i = 0; i < 50; ++i) vals.insert(r.next());
+  EXPECT_GT(vals.size(), 45u);  // not stuck
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng r{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = r.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanNearHalf) {
+  Rng r{7};
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng r{3};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(0, 4);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 4);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng r{3};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(7, 7), 7);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng r{11};
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(50.0);
+  EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(RngTest, ExponentialDurationIsPositive) {
+  Rng r{11};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(r.exponential(Duration::ms(1.0)), Duration::zero());
+  }
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng r{13};
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.05);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.05, 0.005);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng r{13};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng root{99};
+  Rng a = root.fork(0);
+  Rng b = root.fork(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+  // Forking again with the same id reproduces the stream.
+  Rng a2 = root.fork(0);
+  Rng a3 = Rng{99}.fork(0);
+  for (int i = 0; i < 10; ++i) {
+    const auto expected = a3.next();
+    EXPECT_EQ(a2.next(), expected);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng r{5};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, UniformDurationWithinBounds) {
+  Rng r{17};
+  const auto lo = Duration::ms(5.0), hi = Duration::ms(15.0);
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = r.uniform(lo, hi);
+    EXPECT_GE(d, lo);
+    EXPECT_LE(d, hi);
+  }
+}
+
+}  // namespace
+}  // namespace spms::sim

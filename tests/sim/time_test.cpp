@@ -1,0 +1,55 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spms::sim {
+namespace {
+
+TEST(DurationTest, ConstructorsAndAccessors) {
+  EXPECT_EQ(Duration::millis(3).count_nanos(), 3'000'000);
+  EXPECT_EQ(Duration::micros(3).count_nanos(), 3'000);
+  EXPECT_EQ(Duration::seconds(1).count_nanos(), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(Duration::ms(0.05).to_ms(), 0.05);
+  EXPECT_DOUBLE_EQ(Duration::us(2.5).to_us(), 2.5);
+}
+
+TEST(DurationTest, MsRoundsToNearestNanosecond) {
+  // 0.05 ms/byte is the paper's airtime constant; must be exactly 50 us.
+  EXPECT_EQ(Duration::ms(0.05).count_nanos(), 50'000);
+  EXPECT_EQ(Duration::ms(-0.05).count_nanos(), -50'000);
+}
+
+TEST(DurationTest, Arithmetic) {
+  const auto a = Duration::millis(2);
+  const auto b = Duration::millis(5);
+  EXPECT_EQ((a + b).count_nanos(), 7'000'000);
+  EXPECT_EQ((b - a).count_nanos(), 3'000'000);
+  EXPECT_EQ((-a).count_nanos(), -2'000'000);
+  EXPECT_EQ((a * 3).count_nanos(), 6'000'000);
+  EXPECT_EQ((3 * a).count_nanos(), 6'000'000);
+  EXPECT_DOUBLE_EQ(b / a, 2.5);
+  EXPECT_EQ((a * 1.5).count_nanos(), 3'000'000);
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_EQ(Duration::zero(), Duration::nanos(0));
+  EXPECT_GT(Duration::max(), Duration::seconds(1'000'000));
+}
+
+TEST(TimePointTest, EpochAndArithmetic) {
+  const auto t0 = TimePoint::zero();
+  const auto t1 = t0 + Duration::millis(10);
+  EXPECT_EQ((t1 - t0).count_nanos(), 10'000'000);
+  EXPECT_EQ(t1 - Duration::millis(10), t0);
+  EXPECT_LT(t0, t1);
+  EXPECT_DOUBLE_EQ(t1.to_ms(), 10.0);
+}
+
+TEST(TimePointTest, AtConstructor) {
+  const auto t = TimePoint::at(Duration::ms(2.5));
+  EXPECT_DOUBLE_EQ(t.since_epoch().to_ms(), 2.5);
+}
+
+}  // namespace
+}  // namespace spms::sim

@@ -1,0 +1,55 @@
+#include "stats/percentiles.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spms::stats {
+namespace {
+
+TEST(PercentilesTest, EmptyReturnsZero) {
+  Percentiles p;
+  EXPECT_DOUBLE_EQ(p.quantile(0.5), 0.0);
+  EXPECT_EQ(p.count(), 0u);
+}
+
+TEST(PercentilesTest, SingleValue) {
+  Percentiles p;
+  p.add(7.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 7.0);
+}
+
+TEST(PercentilesTest, MedianOfOddCount) {
+  Percentiles p;
+  for (const double x : {5.0, 1.0, 3.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.median(), 3.0);
+}
+
+TEST(PercentilesTest, InterpolatesEvenCount) {
+  Percentiles p;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.median(), 2.5);     // numpy-style linear interpolation
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 4.0);
+}
+
+TEST(PercentilesTest, KnownQuartiles) {
+  Percentiles p;
+  for (int i = 0; i <= 100; ++i) p.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(p.quantile(0.25), 25.0);
+  EXPECT_DOUBLE_EQ(p.median(), 50.0);
+  EXPECT_DOUBLE_EQ(p.p95(), 95.0);
+  EXPECT_DOUBLE_EQ(p.p99(), 99.0);
+}
+
+TEST(PercentilesTest, InsertAfterQueryResorts) {
+  Percentiles p;
+  p.add(10.0);
+  p.add(20.0);
+  EXPECT_DOUBLE_EQ(p.median(), 15.0);
+  p.add(0.0);  // arrives after the sort
+  EXPECT_DOUBLE_EQ(p.median(), 10.0);
+}
+
+}  // namespace
+}  // namespace spms::stats
