@@ -5,6 +5,9 @@
 ///   2. overhearing energy on/off — the paper's analysis omits redundant
 ///      reception cost; this quantifies what that omission hides;
 ///   3. flooding baseline — what SPIN's negotiation buys in the first place.
+///
+/// Thin wrapper over the "ablation_mac" registry scenario (one variant per
+/// ablation) + batch engine.
 
 #include <iostream>
 
@@ -15,18 +18,23 @@ int main() {
   bench::print_header("Ablation", "MAC / energy-model choices on the 49-node reference",
                       "not a paper figure; quantifies DESIGN.md decisions");
 
-  auto base = bench::reference_config();
-  base.node_count = 49;
+  const auto spec = bench::make_spec("ablation_mac");
+  const auto batch = bench::run_spec(spec);
+  const std::size_t n = spec.base.node_count;
+  const double r = spec.base.zone_radius_m;
+  const auto stats_of = [&](exp::ProtocolKind kind, const std::string& variant) {
+    return batch.point(kind, n, r, variant).stats;
+  };
 
   {
     exp::Table t({"carrier sense", "SPMS delay", "SPIN delay", "SPIN/SPMS"});
     for (const bool cs : {true, false}) {
-      auto cfg = base;
-      cfg.mac.carrier_sense = cs;
-      const auto [spms_run, spin_run] = bench::run_pair(cfg);
-      t.add_row({cs ? "on" : "off", exp::fmt(spms_run.mean_delay_ms, 2),
-                 exp::fmt(spin_run.mean_delay_ms, 2),
-                 exp::fmt(spin_run.mean_delay_ms / spms_run.mean_delay_ms, 2)});
+      const std::string variant = cs ? "base" : "no-carrier-sense";
+      const auto spms_pt = stats_of(exp::ProtocolKind::kSpms, variant);
+      const auto spin_pt = stats_of(exp::ProtocolKind::kSpin, variant);
+      t.add_row({cs ? "on" : "off", exp::fmt(spms_pt.mean_delay_ms.mean, 2),
+                 exp::fmt(spin_pt.mean_delay_ms.mean, 2),
+                 exp::fmt(spin_pt.mean_delay_ms.mean / spms_pt.mean_delay_ms.mean, 2)});
     }
     t.print(std::cout);
     std::cout << "(without the shared channel, only airtime and backoff separate the\n"
@@ -37,13 +45,14 @@ int main() {
   {
     exp::Table t({"overhearing cost", "SPMS uJ/pkt", "SPIN uJ/pkt", "SPMS saving"});
     for (const bool oh : {false, true}) {
-      auto cfg = base;
-      cfg.energy.charge_overhearing = oh;
-      const auto [spms_run, spin_run] = bench::run_pair(cfg);
-      t.add_row({oh ? "charged" : "omitted", exp::fmt(spms_run.protocol_energy_per_item_uj, 2),
-                 exp::fmt(spin_run.protocol_energy_per_item_uj, 2),
-                 exp::fmt_pct(1.0 - spms_run.protocol_energy_per_item_uj /
-                                        spin_run.protocol_energy_per_item_uj)});
+      const std::string variant = oh ? "overhearing-charged" : "base";
+      const auto spms_pt = stats_of(exp::ProtocolKind::kSpms, variant);
+      const auto spin_pt = stats_of(exp::ProtocolKind::kSpin, variant);
+      t.add_row({oh ? "charged" : "omitted",
+                 exp::fmt(spms_pt.protocol_energy_per_item_uj.mean, 2),
+                 exp::fmt(spin_pt.protocol_energy_per_item_uj.mean, 2),
+                 exp::fmt_pct(1.0 - spms_pt.protocol_energy_per_item_uj.mean /
+                                        spin_pt.protocol_energy_per_item_uj.mean)});
     }
     t.print(std::cout);
     std::cout << "(SPIN's max-power unicasts wake the whole zone; charging overhearers\n"
@@ -53,14 +62,16 @@ int main() {
 
   {
     exp::Table t({"rx power (mW)", "SPMS uJ/pkt", "SPIN uJ/pkt", "SPMS saving"});
-    for (const double rx : {0.0125, 0.05, 0.2, 0.8}) {
-      auto cfg = base;
-      cfg.energy.rx_power_mw = rx;
-      const auto [spms_run, spin_run] = bench::run_pair(cfg);
-      t.add_row({exp::fmt(rx, 4), exp::fmt(spms_run.protocol_energy_per_item_uj, 2),
-                 exp::fmt(spin_run.protocol_energy_per_item_uj, 2),
-                 exp::fmt_pct(1.0 - spms_run.protocol_energy_per_item_uj /
-                                        spin_run.protocol_energy_per_item_uj)});
+    for (const auto& v : spec.variants) {
+      if (v.name.rfind("rx-", 0) != 0) continue;
+      const std::string& variant = v.name;
+      const double rx = std::stod(variant.substr(3));
+      const auto spms_pt = stats_of(exp::ProtocolKind::kSpms, variant);
+      const auto spin_pt = stats_of(exp::ProtocolKind::kSpin, variant);
+      t.add_row({exp::fmt(rx, 4), exp::fmt(spms_pt.protocol_energy_per_item_uj.mean, 2),
+                 exp::fmt(spin_pt.protocol_energy_per_item_uj.mean, 2),
+                 exp::fmt_pct(1.0 - spms_pt.protocol_energy_per_item_uj.mean /
+                                        spin_pt.protocol_energy_per_item_uj.mean)});
     }
     t.print(std::cout);
     std::cout << "(Er = Em = 0.0125 mW is the paper's analysis simplification and inflates\n"
@@ -69,15 +80,23 @@ int main() {
   }
 
   {
+    // SPMS/SPIN come from the ablation grid's base cells; flooding is its
+    // own one-point scenario so the rx/carrier-sense variants above don't
+    // pay for baseline runs nobody reads.
+    const auto flood_spec = bench::make_spec("flooding_baseline");
+    const auto flood_batch = bench::run_spec(flood_spec);
     exp::Table t({"protocol", "uJ/pkt", "frames", "delivery"});
-    for (const auto kind :
-         {exp::ProtocolKind::kSpms, exp::ProtocolKind::kSpin, exp::ProtocolKind::kFlooding}) {
-      auto cfg = base;
-      cfg.protocol = kind;
-      const auto r = exp::run_experiment(cfg);
-      t.add_row({r.protocol, exp::fmt(r.protocol_energy_per_item_uj, 2),
-                 std::to_string(r.net_counters.tx_total()), exp::fmt_pct(r.delivery_ratio)});
-    }
+    const auto add = [&](const exp::PointResult& pt) {
+      // Mean frames across seeds, matching the other columns' population.
+      double frames = 0;
+      for (const auto& run : pt.runs) frames += static_cast<double>(run.net_counters.tx_total());
+      frames /= static_cast<double>(pt.runs.size());
+      t.add_row({pt.stats.protocol, exp::fmt(pt.stats.protocol_energy_per_item_uj.mean, 2),
+                 exp::fmt(frames, 0), exp::fmt_pct(pt.stats.delivery_ratio.mean)});
+    };
+    add(batch.point(exp::ProtocolKind::kSpms, n, r, "base"));
+    add(batch.point(exp::ProtocolKind::kSpin, n, r, "base"));
+    add(flood_batch.point(exp::ProtocolKind::kFlooding, n, r));
     t.print(std::cout);
     std::cout << "(flooding = the Section 1 baseline: full DATA frames from every node)\n";
   }

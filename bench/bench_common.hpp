@@ -3,59 +3,57 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
-#include <vector>
 
+#include "exp/batch.hpp"
 #include "exp/runner.hpp"
+#include "exp/scenario_registry.hpp"
 #include "exp/table.hpp"
 
 /// \file bench_common.hpp
 /// Shared scaffolding for the figure-reproduction binaries.
 ///
-/// Each bench prints the series behind one table/figure of the paper.  The
+/// Each bench is a thin wrapper: it pulls its grid from the scenario
+/// registry (src/exp/scenario_registry.hpp), executes it on the parallel
+/// batch engine, and formats the rows the paper's figure plots.  The
 /// reference workload follows Table 1 except where EXPERIMENTS.md documents
 /// a calibration: packets_per_node defaults to 2 instead of 10 so the whole
 /// bench suite completes in minutes (pass e.g. SPMS_BENCH_PACKETS=10 to run
-/// the paper's full load).
+/// the paper's full load).  SPMS_BENCH_SEEDS=K averages every cell over K
+/// seeds; SPMS_JOBS caps the worker pool.
 
 namespace spms::bench {
 
-/// Reference experiment configuration (paper Table 1 + DESIGN.md Section 6).
-inline exp::ExperimentConfig reference_config() {
-  exp::ExperimentConfig cfg;
-  cfg.node_count = 169;
-  cfg.grid_pitch_m = 5.0;
-  cfg.zone_radius_m = 20.0;
-  cfg.traffic.packets_per_node = 2;
-  cfg.seed = 2004;  // DSN 2004
-  if (const char* env = std::getenv("SPMS_BENCH_PACKETS")) {
-    cfg.traffic.packets_per_node = std::max(1, std::atoi(env));
+/// Reference experiment configuration (delegates to the registry).
+inline exp::ExperimentConfig reference_config() { return exp::reference_config(); }
+
+/// Transient-failure regime for the failure figures (see the registry).
+inline void scaled_failures(exp::ExperimentConfig& cfg) { exp::scaled_failures(cfg); }
+
+/// Looks up a registry scenario (aborts loudly on a typo) and returns its
+/// SweepSpec, fanned out to K consecutive seeds when SPMS_BENCH_SEEDS=K is
+/// set (cells then report means).  Benches iterate the spec's axes to lay
+/// out their tables.
+inline exp::SweepSpec make_spec(const std::string& name) {
+  const auto* info = exp::find_scenario(name);
+  if (info == nullptr) {
+    std::cerr << "bench: unknown scenario '" << name << "'\n";
+    std::exit(2);
   }
-  if (const char* env = std::getenv("SPMS_BENCH_SEED")) {
-    cfg.seed = static_cast<std::uint64_t>(std::atoll(env));
+  auto spec = info->make();
+  std::size_t count = 1;
+  if (const char* env = std::getenv("SPMS_BENCH_SEEDS")) {
+    const long v = std::atol(env);
+    if (v > 0) count = static_cast<std::size_t>(v);
   }
-  return cfg;
+  spec.use_consecutive_seeds(count);
+  return spec;
 }
 
-/// Runs the same config under SPMS and SPIN; returns {spms, spin}.
-inline std::pair<exp::RunResult, exp::RunResult> run_pair(exp::ExperimentConfig cfg) {
-  cfg.protocol = exp::ProtocolKind::kSpms;
-  auto spms_run = exp::run_experiment(cfg);
-  cfg.protocol = exp::ProtocolKind::kSpin;
-  auto spin_run = exp::run_experiment(cfg);
-  return {std::move(spms_run), std::move(spin_run)};
-}
-
-/// Transient-failure regime for the failure figures.  Table 1's MTBF of
-/// 50 ms belongs to the paper's unqueued simulator whose whole dissemination
-/// lasts tens of milliseconds; our shared-channel runs stretch over seconds,
-/// so the same *relative* churn (≈20% downtime duty cycle, a couple of
-/// failures per node while traffic is in flight) maps to a scaled clock.
-inline void scaled_failures(exp::ExperimentConfig& cfg) {
-  cfg.inject_failures = true;
-  cfg.failure.mean_time_between_failures = sim::Duration::ms(2500.0);
-  cfg.failure.repair_min = sim::Duration::ms(250.0);
-  cfg.failure.repair_max = sim::Duration::ms(750.0);
-  cfg.activity_horizon = sim::Duration::ms(6000.0);
+/// Executes a spec on the batch engine with the default worker pool.
+inline exp::BatchResult run_spec(const exp::SweepSpec& spec) {
+  exp::BatchOptions options;
+  options.jobs = 0;  // SPMS_JOBS env or hardware concurrency
+  return exp::BatchRunner{options}.run(spec);
 }
 
 /// Standard bench header.

@@ -5,7 +5,8 @@
 ///
 /// We measure all three inputs on the reference deployment — the DBF
 /// rebuild energy, and the per-packet dissemination energy of both
-/// protocols — and evaluate the same formula.
+/// protocols — and evaluate the same formula.  Thin wrapper over the
+/// "mobility_breakeven" registry scenario + batch engine.
 
 #include <iostream>
 
@@ -17,16 +18,19 @@ int main() {
   bench::print_header("Break-even", "packets needed between mobility events (Section 5.1.3)",
                       "paper's calibration: 239.18 packets");
 
+  const auto spec = bench::make_spec("mobility_breakeven");
+  const auto batch = bench::run_spec(spec);
+  const std::size_t n = spec.base.node_count;
+
   exp::Table t({"radius (m)", "DBF rebuild uJ", "SPIN uJ/pkt", "SPMS uJ/pkt",
                 "gain uJ/pkt", "break-even pkts"});
-  for (const double r : {15.0, 20.0, 25.0}) {
-    auto cfg = bench::reference_config();
-    cfg.zone_radius_m = r;
-    const auto [spms_run, spin_run] = bench::run_pair(cfg);
+  for (const auto r : spec.zone_radii) {
+    const auto& spms_pt = batch.point(exp::ProtocolKind::kSpms, n, r).stats;
+    const auto& spin_pt = batch.point(exp::ProtocolKind::kSpin, n, r).stats;
     // The initial build is the cost of one reconvergence.
-    const double dbf_uj = spms_run.energy.routing_uj();
-    const double spin_pkt = spin_run.protocol_energy_per_item_uj;
-    const double spms_pkt = spms_run.protocol_energy_per_item_uj;
+    const double dbf_uj = spms_pt.routing_energy_uj.mean;
+    const double spin_pkt = spin_pt.protocol_energy_per_item_uj.mean;
+    const double spms_pkt = spms_pt.protocol_energy_per_item_uj.mean;
     const double breakeven = analysis::mobility_breakeven_packets(dbf_uj, spin_pkt, spms_pkt);
     t.add_row({exp::fmt(r, 0), exp::fmt(dbf_uj, 1), exp::fmt(spin_pkt, 2),
                exp::fmt(spms_pkt, 2), exp::fmt(spin_pkt - spms_pkt, 2),

@@ -4,8 +4,13 @@
 ///  * multiple SCONEs — "for tolerating more than one concurrent failure".
 /// Measured on the reference all-to-all workload under transient-failure
 /// churn: delivery ratio, delay and energy with each extension toggled.
+///
+/// Thin wrapper over the "extensions" registry scenario (one variant per
+/// toggle, with "-clean" twins for the failure-free reference) + batch
+/// engine.
 
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
 
@@ -14,36 +19,28 @@ int main() {
   bench::print_header("Extensions", "SPMS future-work features under failure churn",
                       "paper Section 6: relay caching should improve fault tolerance");
 
-  auto base = bench::reference_config();
-  base.node_count = 100;
-  base.protocol = exp::ProtocolKind::kSpms;
-  base.inject_failures = true;
-  base.activity_horizon = sim::Duration::ms(2000);
+  const auto spec = bench::make_spec("extensions");
+  const auto batch = bench::run_spec(spec);
+  const std::size_t n = spec.base.node_count;
+  const double r = spec.base.zone_radius_m;
+
+  const struct {
+    const char* display;
+    const char* variant;
+  } variants[] = {
+      {"published SPMS", "published"},
+      {"+ relay caching", "relay-caching"},
+      {"+ 2 SCONEs", "scones-2"},
+      {"+ caching + 2 SCONEs", "caching+scones-2"},
+  };
 
   exp::Table t({"variant", "delivery", "mean delay (ms)", "uJ/pkt", "given up"});
-  struct Variant {
-    const char* name;
-    core::SpmsExtensions ext;
-  };
-  core::SpmsExtensions caching;
-  caching.relay_caching = true;
-  core::SpmsExtensions scones2;
-  scones2.num_scones = 2;
-  core::SpmsExtensions both;
-  both.relay_caching = true;
-  both.num_scones = 2;
-  const Variant variants[] = {
-      {"published SPMS", {}},
-      {"+ relay caching", caching},
-      {"+ 2 SCONEs", scones2},
-      {"+ caching + 2 SCONEs", both},
-  };
   for (const auto& v : variants) {
-    auto cfg = base;
-    cfg.spms_ext = v.ext;
-    const auto r = exp::run_experiment(cfg);
-    t.add_row({v.name, exp::fmt_pct(r.delivery_ratio), exp::fmt(r.mean_delay_ms, 2),
-               exp::fmt(r.protocol_energy_per_item_uj, 2), std::to_string(r.given_up)});
+    const auto& pt = batch.point(exp::ProtocolKind::kSpms, n, r, v.variant).stats;
+    t.add_row({v.display, exp::fmt_pct(pt.delivery_ratio.mean),
+               exp::fmt(pt.mean_delay_ms.mean, 2),
+               exp::fmt(pt.protocol_energy_per_item_uj.mean, 2),
+               exp::fmt(pt.given_up.mean, 0)});
   }
   t.print(std::cout);
 
@@ -51,11 +48,10 @@ int main() {
                "re-advertises, trading ADV energy for robustness):\n";
   exp::Table t2({"variant", "delivery", "uJ/pkt"});
   for (const auto& v : variants) {
-    auto cfg = base;
-    cfg.inject_failures = false;
-    cfg.spms_ext = v.ext;
-    const auto r = exp::run_experiment(cfg);
-    t2.add_row({v.name, exp::fmt_pct(r.delivery_ratio), exp::fmt(r.protocol_energy_per_item_uj, 2)});
+    const auto& pt =
+        batch.point(exp::ProtocolKind::kSpms, n, r, std::string{v.variant} + "-clean").stats;
+    t2.add_row({v.display, exp::fmt_pct(pt.delivery_ratio.mean),
+                exp::fmt(pt.protocol_energy_per_item_uj.mean, 2)});
   }
   t2.print(std::cout);
   return 0;

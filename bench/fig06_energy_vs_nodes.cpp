@@ -4,6 +4,8 @@
 /// energy compared to SPIN … the difference increases with increasing
 /// sensor field size."  Static figures exclude the one-off DBF build cost
 /// (the paper folds it in only for the mobility study).
+///
+/// Thin wrapper over the "fig06" registry scenario + batch engine.
 
 #include <iostream>
 
@@ -14,17 +16,20 @@ int main() {
   bench::print_header("Figure 6", "energy per packet vs number of nodes (all-to-all, static)",
                       "SPMS saves 26-43%; gap widens with the field");
 
+  const auto spec = bench::make_spec("fig06");
+  const auto batch = bench::run_spec(spec);
+  const double r = spec.base.zone_radius_m;
+
   exp::Table t({"nodes", "SPMS uJ/pkt", "SPIN uJ/pkt", "SPMS saving", "SPMS dlv", "SPIN dlv"});
-  for (const std::size_t n : {std::size_t{25}, std::size_t{49}, std::size_t{100},
-                              std::size_t{169}, std::size_t{225}}) {
-    auto cfg = bench::reference_config();
-    cfg.node_count = n;
-    const auto [spms_run, spin_run] = bench::run_pair(cfg);
-    t.add_row({std::to_string(n), exp::fmt(spms_run.protocol_energy_per_item_uj, 2),
-               exp::fmt(spin_run.protocol_energy_per_item_uj, 2),
-               exp::fmt_pct(1.0 - spms_run.protocol_energy_per_item_uj /
-                                      spin_run.protocol_energy_per_item_uj),
-               exp::fmt_pct(spms_run.delivery_ratio), exp::fmt_pct(spin_run.delivery_ratio)});
+  for (const auto n : spec.node_counts) {
+    const auto& spms_pt = batch.point(exp::ProtocolKind::kSpms, n, r).stats;
+    const auto& spin_pt = batch.point(exp::ProtocolKind::kSpin, n, r).stats;
+    t.add_row({std::to_string(n), exp::fmt(spms_pt.protocol_energy_per_item_uj.mean, 2),
+               exp::fmt(spin_pt.protocol_energy_per_item_uj.mean, 2),
+               exp::fmt_pct(1.0 - spms_pt.protocol_energy_per_item_uj.mean /
+                                      spin_pt.protocol_energy_per_item_uj.mean),
+               exp::fmt_pct(spms_pt.delivery_ratio.mean),
+               exp::fmt_pct(spin_pt.delivery_ratio.mean)});
   }
   t.print(std::cout);
   return 0;

@@ -3,6 +3,8 @@
 /// 169 nodes, all-to-all, static, failure-free.  Paper: "as the
 /// transmission radius increases, SPMS increasingly outperforms SPIN; at
 /// low values of the radius the difference is not substantial."
+///
+/// Thin wrapper over the "fig07" registry scenario + batch engine.
 
 #include <iostream>
 
@@ -13,17 +15,21 @@ int main() {
   bench::print_header("Figure 7", "energy per packet vs transmission radius (169 nodes)",
                       "gap grows with radius; small at r<=10 m");
 
+  const auto spec = bench::make_spec("fig07");
+  const auto batch = bench::run_spec(spec);
+  const std::size_t n = spec.base.node_count;
+
   exp::Table t({"radius (m)", "SPMS uJ/pkt", "SPIN uJ/pkt", "SPMS saving", "SPMS dlv",
                 "SPIN dlv"});
-  for (const double r : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
-    auto cfg = bench::reference_config();
-    cfg.zone_radius_m = r;
-    const auto [spms_run, spin_run] = bench::run_pair(cfg);
-    t.add_row({exp::fmt(r, 0), exp::fmt(spms_run.protocol_energy_per_item_uj, 2),
-               exp::fmt(spin_run.protocol_energy_per_item_uj, 2),
-               exp::fmt_pct(1.0 - spms_run.protocol_energy_per_item_uj /
-                                      spin_run.protocol_energy_per_item_uj),
-               exp::fmt_pct(spms_run.delivery_ratio), exp::fmt_pct(spin_run.delivery_ratio)});
+  for (const auto r : spec.zone_radii) {
+    const auto& spms_pt = batch.point(exp::ProtocolKind::kSpms, n, r).stats;
+    const auto& spin_pt = batch.point(exp::ProtocolKind::kSpin, n, r).stats;
+    t.add_row({exp::fmt(r, 0), exp::fmt(spms_pt.protocol_energy_per_item_uj.mean, 2),
+               exp::fmt(spin_pt.protocol_energy_per_item_uj.mean, 2),
+               exp::fmt_pct(1.0 - spms_pt.protocol_energy_per_item_uj.mean /
+                                      spin_pt.protocol_energy_per_item_uj.mean),
+               exp::fmt_pct(spms_pt.delivery_ratio.mean),
+               exp::fmt_pct(spin_pt.delivery_ratio.mean)});
   }
   t.print(std::cout);
   return 0;

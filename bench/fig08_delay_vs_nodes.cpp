@@ -5,6 +5,8 @@
 /// increasing number of nodes."  Absolute values differ from the paper
 /// (our MAC models channel occupancy; see EXPERIMENTS.md), the ordering
 /// and the widening gap are the reproduced shape.
+///
+/// Thin wrapper over the "fig08" registry scenario + batch engine.
 
 #include <iostream>
 
@@ -15,16 +17,18 @@ int main() {
   bench::print_header("Figure 8", "mean delay vs number of nodes (all-to-all, static)",
                       "SPMS ~10x faster; gap widens with node count");
 
+  const auto spec = bench::make_spec("fig08");
+  const auto batch = bench::run_spec(spec);
+  const double r = spec.base.zone_radius_m;
+
   exp::Table t({"nodes", "SPMS ms/pkt", "SPIN ms/pkt", "SPIN/SPMS", "SPMS p95", "SPIN p95"});
-  for (const std::size_t n : {std::size_t{25}, std::size_t{49}, std::size_t{100},
-                              std::size_t{169}, std::size_t{225}}) {
-    auto cfg = bench::reference_config();
-    cfg.node_count = n;
-    const auto [spms_run, spin_run] = bench::run_pair(cfg);
-    t.add_row({std::to_string(n), exp::fmt(spms_run.mean_delay_ms, 2),
-               exp::fmt(spin_run.mean_delay_ms, 2),
-               exp::fmt(spin_run.mean_delay_ms / spms_run.mean_delay_ms, 2),
-               exp::fmt(spms_run.p95_delay_ms, 2), exp::fmt(spin_run.p95_delay_ms, 2)});
+  for (const auto n : spec.node_counts) {
+    const auto& spms_pt = batch.point(exp::ProtocolKind::kSpms, n, r).stats;
+    const auto& spin_pt = batch.point(exp::ProtocolKind::kSpin, n, r).stats;
+    t.add_row({std::to_string(n), exp::fmt(spms_pt.mean_delay_ms.mean, 2),
+               exp::fmt(spin_pt.mean_delay_ms.mean, 2),
+               exp::fmt(spin_pt.mean_delay_ms.mean / spms_pt.mean_delay_ms.mean, 2),
+               exp::fmt(spms_pt.p95_delay_ms.mean, 2), exp::fmt(spin_pt.p95_delay_ms.mean, 2)});
   }
   t.print(std::cout);
   return 0;

@@ -4,12 +4,13 @@
 /// delay drops for both SPIN and SPMS" (fewer zone-by-zone rounds offset
 /// the extra contention), with SPMS below SPIN throughout.
 ///
-/// Two MAC regimes are printed (EXPERIMENTS.md discusses the split):
-///  * shared-channel (our default): queueing at the senders makes SPIN's
-///    delay *grow* with radius — bigger discs kill spatial reuse — so the
-///    SPMS advantage widens;
-///  * paper-style MAC (no queueing, explicit T_csma = G n^2): reproduces
-///    the paper's falling-delay-with-radius shape.
+/// Two MAC regimes are printed (EXPERIMENTS.md discusses the split); both
+/// are variants of the "fig09" registry scenario:
+///  * "shared" (our default): queueing at the senders makes SPIN's delay
+///    *grow* with radius — bigger discs kill spatial reuse — so the SPMS
+///    advantage widens;
+///  * "round-mac" (paper-style MAC: no queueing, explicit T_csma = G n^2):
+///    reproduces the paper's falling-delay-with-radius shape.
 
 #include <iostream>
 
@@ -20,15 +21,18 @@ int main() {
   bench::print_header("Figure 9", "mean delay vs transmission radius (169 nodes)",
                       "delay falls with radius for both; SPMS below SPIN");
 
+  const auto spec = bench::make_spec("fig09");
+  const auto batch = bench::run_spec(spec);
+  const std::size_t n = spec.base.node_count;
+
   std::cout << "shared-channel MAC (carrier sensing, spatial reuse):\n";
   exp::Table t({"radius (m)", "SPMS ms/pkt", "SPIN ms/pkt", "SPIN/SPMS"});
-  for (const double r : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
-    auto cfg = bench::reference_config();
-    cfg.zone_radius_m = r;
-    const auto [spms_run, spin_run] = bench::run_pair(cfg);
-    t.add_row({exp::fmt(r, 0), exp::fmt(spms_run.mean_delay_ms, 2),
-               exp::fmt(spin_run.mean_delay_ms, 2),
-               exp::fmt(spin_run.mean_delay_ms / spms_run.mean_delay_ms, 2)});
+  for (const auto r : spec.zone_radii) {
+    const auto& spms_pt = batch.point(exp::ProtocolKind::kSpms, n, r, "shared").stats;
+    const auto& spin_pt = batch.point(exp::ProtocolKind::kSpin, n, r, "shared").stats;
+    t.add_row({exp::fmt(r, 0), exp::fmt(spms_pt.mean_delay_ms.mean, 2),
+               exp::fmt(spin_pt.mean_delay_ms.mean, 2),
+               exp::fmt(spin_pt.mean_delay_ms.mean / spms_pt.mean_delay_ms.mean, 2)});
   }
   t.print(std::cout);
 
@@ -36,15 +40,11 @@ int main() {
                "only) — isolates the paper's falling-with-radius mechanism, fewer\n"
                "zone-by-zone rounds at larger radii:\n";
   exp::Table t2({"radius (m)", "SPMS ms/pkt", "SPIN ms/pkt"});
-  for (const double r : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
-    auto cfg = bench::reference_config();
-    cfg.zone_radius_m = r;
-    cfg.mac.infinite_parallelism = true;
-    cfg.proto.tout_adv = sim::Duration::ms(10.0);
-    cfg.proto.tout_dat = sim::Duration::ms(20.0);
-    const auto [spms_run, spin_run] = bench::run_pair(cfg);
-    t2.add_row({exp::fmt(r, 0), exp::fmt(spms_run.mean_delay_ms, 2),
-                exp::fmt(spin_run.mean_delay_ms, 2)});
+  for (const auto r : spec.zone_radii) {
+    const auto& spms_pt = batch.point(exp::ProtocolKind::kSpms, n, r, "round-mac").stats;
+    const auto& spin_pt = batch.point(exp::ProtocolKind::kSpin, n, r, "round-mac").stats;
+    t2.add_row({exp::fmt(r, 0), exp::fmt(spms_pt.mean_delay_ms.mean, 2),
+                exp::fmt(spin_pt.mean_delay_ms.mean, 2)});
   }
   t2.print(std::cout);
   std::cout << "\n(the two regimes cannot coexist in one MAC: the paper's Fig. 8 delay gap\n"

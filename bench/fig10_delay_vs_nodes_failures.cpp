@@ -4,6 +4,9 @@
 /// increases in the failure cases … the difference between the failure free
 /// and failure cases is not substantial [for small networks] but becomes
 /// pronounced as the number of nodes increases."
+///
+/// Thin wrapper over the "fig10" registry scenario (variants "clean" and
+/// "failures") + batch engine.
 
 #include <iostream>
 
@@ -14,18 +17,22 @@ int main() {
   bench::print_header("Figure 10", "mean delay vs number of nodes, with transient failures",
                       "failures raise delay; effect grows with node count");
 
+  const auto spec = bench::make_spec("fig10");
+  const auto batch = bench::run_spec(spec);
+  const double r = spec.base.zone_radius_m;
+
   exp::Table t({"nodes", "SPMS", "F-SPMS", "SPIN", "F-SPIN", "F-SPMS dlv", "F-SPIN dlv"});
-  for (const std::size_t n : {std::size_t{25}, std::size_t{49}, std::size_t{100},
-                              std::size_t{169}}) {
-    auto cfg = bench::reference_config();
-    cfg.node_count = n;
-    const auto [spms_clean, spin_clean] = bench::run_pair(cfg);
-    bench::scaled_failures(cfg);
-    const auto [spms_fail, spin_fail] = bench::run_pair(cfg);
-    t.add_row({std::to_string(n), exp::fmt(spms_clean.mean_delay_ms, 2),
-               exp::fmt(spms_fail.mean_delay_ms, 2), exp::fmt(spin_clean.mean_delay_ms, 2),
-               exp::fmt(spin_fail.mean_delay_ms, 2), exp::fmt_pct(spms_fail.delivery_ratio),
-               exp::fmt_pct(spin_fail.delivery_ratio)});
+  for (const auto n : spec.node_counts) {
+    const auto& spms_clean = batch.point(exp::ProtocolKind::kSpms, n, r, "clean").stats;
+    const auto& spin_clean = batch.point(exp::ProtocolKind::kSpin, n, r, "clean").stats;
+    const auto& spms_fail = batch.point(exp::ProtocolKind::kSpms, n, r, "failures").stats;
+    const auto& spin_fail = batch.point(exp::ProtocolKind::kSpin, n, r, "failures").stats;
+    t.add_row({std::to_string(n), exp::fmt(spms_clean.mean_delay_ms.mean, 2),
+               exp::fmt(spms_fail.mean_delay_ms.mean, 2),
+               exp::fmt(spin_clean.mean_delay_ms.mean, 2),
+               exp::fmt(spin_fail.mean_delay_ms.mean, 2),
+               exp::fmt_pct(spms_fail.delivery_ratio.mean),
+               exp::fmt_pct(spin_fail.delivery_ratio.mean)});
   }
   t.print(std::cout);
   std::cout << "\n(delays in ms/packet; F-* columns are transient-failure runs with the\n"

@@ -4,6 +4,9 @@
 /// and the failure free runs for the small radii is small as there are less
 /// intermediate hops. As the radius increases there are relay nodes whose
 /// failure induces the delay in SPMS."
+///
+/// Thin wrapper over the "fig11" registry scenario (variants "clean" and
+/// "failures") + batch engine.
 
 #include <iostream>
 
@@ -14,16 +17,20 @@ int main() {
   bench::print_header("Figure 11", "mean delay vs transmission radius, with transient failures",
                       "failure penalty grows with radius (more relays to lose)");
 
+  const auto spec = bench::make_spec("fig11");
+  const auto batch = bench::run_spec(spec);
+  const std::size_t n = spec.base.node_count;
+
   exp::Table t({"radius (m)", "SPMS", "F-SPMS", "SPIN", "F-SPIN"});
-  for (const double r : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
-    auto cfg = bench::reference_config();
-    cfg.zone_radius_m = r;
-    const auto [spms_clean, spin_clean] = bench::run_pair(cfg);
-    bench::scaled_failures(cfg);
-    const auto [spms_fail, spin_fail] = bench::run_pair(cfg);
-    t.add_row({exp::fmt(r, 0), exp::fmt(spms_clean.mean_delay_ms, 2),
-               exp::fmt(spms_fail.mean_delay_ms, 2), exp::fmt(spin_clean.mean_delay_ms, 2),
-               exp::fmt(spin_fail.mean_delay_ms, 2)});
+  for (const auto r : spec.zone_radii) {
+    const auto& spms_clean = batch.point(exp::ProtocolKind::kSpms, n, r, "clean").stats;
+    const auto& spin_clean = batch.point(exp::ProtocolKind::kSpin, n, r, "clean").stats;
+    const auto& spms_fail = batch.point(exp::ProtocolKind::kSpms, n, r, "failures").stats;
+    const auto& spin_fail = batch.point(exp::ProtocolKind::kSpin, n, r, "failures").stats;
+    t.add_row({exp::fmt(r, 0), exp::fmt(spms_clean.mean_delay_ms.mean, 2),
+               exp::fmt(spms_fail.mean_delay_ms.mean, 2),
+               exp::fmt(spin_clean.mean_delay_ms.mean, 2),
+               exp::fmt(spin_fail.mean_delay_ms.mean, 2)});
   }
   t.print(std::cout);
   return 0;

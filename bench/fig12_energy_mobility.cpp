@@ -5,6 +5,10 @@
 /// included ("The energy expended in SPMS in forming routing tables is
 /// included in the energy measurement").  Paper: SPMS still wins, but the
 /// savings shrink to 5-21%.
+///
+/// Thin wrapper over the "fig12" registry scenario + batch engine; the
+/// mobility calibration (10 packets/node, one reconvergence mid-run) lives
+/// in the registry.
 
 #include <iostream>
 
@@ -15,28 +19,21 @@ int main() {
   bench::print_header("Figure 12", "energy per packet vs radius, mobile nodes (all-to-all)",
                       "SPMS wins by only 5-21% once DBF reconvergence is paid");
 
+  const auto spec = bench::make_spec("fig12");
+  const auto batch = bench::run_spec(spec);
+  const std::size_t n = spec.base.node_count;
+
   exp::Table t({"radius (m)", "SPMS uJ/pkt (total)", "SPIN uJ/pkt", "SPMS saving",
                 "DBF uJ", "epochs"});
-  for (const double r : {10.0, 15.0, 20.0, 25.0}) {
-    auto cfg = bench::reference_config();
-    cfg.zone_radius_m = r;
-    // The paper's full traffic load (10 packets/node): the break-even
-    // analysis (bench/breakeven_mobility) shows a full-zone DBF rebuild
-    // costs several hundred packets' worth of savings, so the figure only
-    // lands in the paper's 5-21% winning band when enough packets flow
-    // between reconvergences — exactly the paper's own point.
-    cfg.traffic.packets_per_node = 10;
-    cfg.mobility = true;
-    // One reconvergence mid-run.
-    cfg.mobility_params.epoch_interval = sim::Duration::ms(400);
-    cfg.mobility_params.move_fraction = 0.05;
-    cfg.activity_horizon = sim::Duration::ms(700);
-    const auto [spms_run, spin_run] = bench::run_pair(cfg);
-    t.add_row({exp::fmt(r, 0), exp::fmt(spms_run.energy_per_item_uj, 2),
-               exp::fmt(spin_run.energy_per_item_uj, 2),
-               exp::fmt_pct(1.0 - spms_run.energy_per_item_uj / spin_run.energy_per_item_uj),
-               exp::fmt(spms_run.energy.routing_uj(), 1),
-               std::to_string(spms_run.mobility_epochs)});
+  for (const auto r : spec.zone_radii) {
+    const auto& spms_pt = batch.point(exp::ProtocolKind::kSpms, n, r).stats;
+    const auto& spin_pt = batch.point(exp::ProtocolKind::kSpin, n, r).stats;
+    t.add_row({exp::fmt(r, 0), exp::fmt(spms_pt.energy_per_item_uj.mean, 2),
+               exp::fmt(spin_pt.energy_per_item_uj.mean, 2),
+               exp::fmt_pct(1.0 - spms_pt.energy_per_item_uj.mean /
+                                      spin_pt.energy_per_item_uj.mean),
+               exp::fmt(spms_pt.routing_energy_uj.mean, 1),
+               exp::fmt(spms_pt.mobility_epochs.mean, 0)});
   }
   t.print(std::cout);
   std::cout << "\n(SPMS column includes all DBF rebuild energy; SPIN keeps no tables)\n";

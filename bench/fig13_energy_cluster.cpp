@@ -4,6 +4,10 @@
 /// Paper: "SPMS consumes 35-59% less energy than SPIN for the failure-free
 /// case … in failure cases, the energy expended by the protocols is much
 /// more than for the failure-free runs."
+///
+/// Thin wrapper over the "fig13" registry scenario (variants "clean" and
+/// "failures") + batch engine; the Er = Em reception calibration lives in
+/// the registry (see EXPERIMENTS.md).
 
 #include <iostream>
 
@@ -14,30 +18,24 @@ int main() {
   bench::print_header("Figure 13", "energy per packet vs radius, cluster-based traffic",
                       "SPMS saves 35-59% failure-free; failures cost both more energy");
 
+  const auto spec = bench::make_spec("fig13");
+  const auto batch = bench::run_spec(spec);
+  const std::size_t n = spec.base.node_count;
+
   exp::Table t({"radius (m)", "SPMS", "SPIN", "saving", "F-SPMS", "F-SPIN", "F saving"});
-  for (const double r : {10.0, 15.0, 20.0, 25.0, 30.0}) {
-    auto cfg = bench::reference_config();
-    cfg.zone_radius_m = r;
-    cfg.pattern = exp::TrafficPattern::kCluster;
-    // This figure runs under the paper's stated reception assumption
-    // Er = Em (0.0125 mW).  With so few deliveries per item, a realistic
-    // receive draw would be dominated by the zone-wide ADV reception that
-    // both protocols pay identically and would flatten the figure; the
-    // paper's 35-59% band is only consistent with Er = Em here (see
-    // EXPERIMENTS.md).
-    cfg.energy.rx_power_mw = 0.0125;
-    cfg.traffic.packets_per_node = 5;
-    const auto [spms_clean, spin_clean] = bench::run_pair(cfg);
-    bench::scaled_failures(cfg);
-    const auto [spms_fail, spin_fail] = bench::run_pair(cfg);
-    t.add_row({exp::fmt(r, 0), exp::fmt(spms_clean.protocol_energy_per_item_uj, 3),
-               exp::fmt(spin_clean.protocol_energy_per_item_uj, 3),
-               exp::fmt_pct(1.0 - spms_clean.protocol_energy_per_item_uj /
-                                      spin_clean.protocol_energy_per_item_uj),
-               exp::fmt(spms_fail.protocol_energy_per_item_uj, 3),
-               exp::fmt(spin_fail.protocol_energy_per_item_uj, 3),
-               exp::fmt_pct(1.0 - spms_fail.protocol_energy_per_item_uj /
-                                      spin_fail.protocol_energy_per_item_uj)});
+  for (const auto r : spec.zone_radii) {
+    const auto& spms_clean = batch.point(exp::ProtocolKind::kSpms, n, r, "clean").stats;
+    const auto& spin_clean = batch.point(exp::ProtocolKind::kSpin, n, r, "clean").stats;
+    const auto& spms_fail = batch.point(exp::ProtocolKind::kSpms, n, r, "failures").stats;
+    const auto& spin_fail = batch.point(exp::ProtocolKind::kSpin, n, r, "failures").stats;
+    t.add_row({exp::fmt(r, 0), exp::fmt(spms_clean.protocol_energy_per_item_uj.mean, 3),
+               exp::fmt(spin_clean.protocol_energy_per_item_uj.mean, 3),
+               exp::fmt_pct(1.0 - spms_clean.protocol_energy_per_item_uj.mean /
+                                      spin_clean.protocol_energy_per_item_uj.mean),
+               exp::fmt(spms_fail.protocol_energy_per_item_uj.mean, 3),
+               exp::fmt(spin_fail.protocol_energy_per_item_uj.mean, 3),
+               exp::fmt_pct(1.0 - spms_fail.protocol_energy_per_item_uj.mean /
+                                      spin_fail.protocol_energy_per_item_uj.mean)});
   }
   t.print(std::cout);
   std::cout << "\n(energies in uJ/packet; cluster heads always interested, zone bystanders "

@@ -1,54 +1,229 @@
 /// \file run_experiment_cli.cpp
-/// Command-line experiment runner: every knob of ExperimentConfig behind
-/// flags, with table or CSV output.  The fastest way to explore the design
-/// space without writing code.
+/// Command-line experiment driver.
 ///
-/// Usage:
-///   run_experiment_cli [--protocol spms|spin|flood] [--nodes N]
-///                      [--radius M] [--packets K] [--pitch M] [--seed S]
-///                      [--failures] [--mobility] [--cluster] [--sink]
-///                      [--random-deployment] [--cross-zone TTL]
-///                      [--relay-caching] [--scones N]
-///                      [--rx-power MW] [--paper-mac] [--csv]
+/// Two modes:
 ///
-/// Example:
-///   run_experiment_cli --protocol spms --nodes 169 --radius 25 --failures
+///  * Scenario mode — run a named registry scenario on the parallel batch
+///    engine:
+///      run_experiment_cli --scenario fig08 --seeds 8 --jobs 8 --format csv
+///      run_experiment_cli --list
+///    Prints one row per grid point with cross-seed mean/stddev (add
+///    --per-seed for one row per run).  The per-seed metrics are
+///    bit-identical whatever --jobs is: every job owns a private Simulation.
+///
+///  * Single-run mode (no --scenario) — every knob of ExperimentConfig
+///    behind flags, one run, metric/value table:
+///      run_experiment_cli --protocol spms --nodes 169 --radius 25 --failures
+///
+/// Output formats: table (default), csv, json.
 
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "exp/batch.hpp"
 #include "exp/runner.hpp"
+#include "exp/scenario_registry.hpp"
 #include "exp/table.hpp"
 
 namespace {
 
+using namespace spms;
+
 [[noreturn]] void usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--protocol spms|spin|flood] [--nodes N] [--radius M] [--packets K]\n"
-               "       [--pitch M] [--seed S] [--failures] [--mobility] [--cluster] [--sink]\n"
-               "       [--random-deployment] [--cross-zone TTL] [--relay-caching]\n"
-               "       [--scones N] [--rx-power MW] [--paper-mac] [--csv]\n";
+  std::cerr
+      << "usage: " << argv0 << " --scenario NAME [--seeds K] [--jobs N]\n"
+         "       [--format table|csv|json] [--per-seed] [--quiet]\n"
+         "   or: " << argv0 << " --list\n"
+         "   or: " << argv0
+      << " [--protocol spms|spin|flood] [--nodes N] [--radius M] [--packets K]\n"
+         "       [--pitch M] [--seed S] [--failures] [--mobility] [--cluster] [--sink]\n"
+         "       [--random-deployment] [--cross-zone TTL] [--relay-caching]\n"
+         "       [--scones N] [--rx-power MW] [--paper-mac] [--format table|csv|json]\n"
+         "       [--csv]\n";
   std::exit(2);
+}
+
+enum class Format { kTable, kCsv, kJson };
+
+// Digits only: strtoul would silently wrap "-1" to 2^64-1.
+bool all_digits(const char* s) {
+  if (*s == '\0') return false;
+  for (; *s != '\0'; ++s) {
+    if (*s < '0' || *s > '9') return false;
+  }
+  return true;
+}
+
+std::size_t parse_size(const char* s, const char* argv0) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s, &end, 10);
+  if (!all_digits(s) || end == s || *end != '\0') usage(argv0);
+  return static_cast<std::size_t>(v);
+}
+
+std::uint64_t parse_u64(const char* s, const char* argv0) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (!all_digits(s) || end == s || *end != '\0') usage(argv0);
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_double(const char* s, const char* argv0) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') usage(argv0);
+  return v;
+}
+
+Format parse_format(const std::string& f, const char* argv0) {
+  if (f == "table") return Format::kTable;
+  if (f == "csv") return Format::kCsv;
+  if (f == "json") return Format::kJson;
+  usage(argv0);
+}
+
+void print_formatted(const exp::Table& t, Format format) {
+  switch (format) {
+    case Format::kTable: t.print(std::cout); break;
+    case Format::kCsv: t.print_csv(std::cout); break;
+    case Format::kJson: t.print_json(std::cout); break;
+  }
+}
+
+int list_scenarios() {
+  exp::Table t({"scenario", "jobs/seed", "what it measures"});
+  for (const auto& s : exp::scenario_registry()) {
+    t.add_row({s.name, std::to_string(s.make().point_count()), s.title});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int run_scenario_mode(const std::string& name, std::size_t seeds, std::size_t jobs,
+                      Format format, bool per_seed, bool quiet) {
+  const auto* info = exp::find_scenario(name);
+  if (info == nullptr) {
+    std::cerr << "unknown scenario '" << name << "'; --list shows the registry\n";
+    return 2;
+  }
+  auto spec = info->make();
+  if (seeds > 0) spec.use_consecutive_seeds(seeds);
+
+  exp::BatchOptions options;
+  options.jobs = jobs;
+  if (!quiet) {
+    options.on_result = [](const exp::SweepJob& job, const exp::RunResult&, std::size_t done,
+                           std::size_t total) {
+      std::cerr << "[" << done << "/" << total << "] " << job.config.label << "\n";
+    };
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto batch = exp::BatchRunner{options}.run(spec);
+  const auto elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (!quiet) {
+    std::cerr << "ran " << batch.runs().size() << " jobs in " << exp::fmt(elapsed, 2)
+              << " s (" << (jobs == 0 ? exp::default_jobs() : jobs) << " workers)\n";
+  }
+
+  if (per_seed) {
+    exp::Table t({"protocol", "nodes", "radius_m", "variant", "seed", "delivery",
+                  "mean_delay_ms", "p95_delay_ms", "max_delay_ms", "uj_per_pkt_proto",
+                  "uj_per_pkt_total", "failures", "given_up", "events"});
+    for (std::size_t i = 0; i < batch.runs().size(); ++i) {
+      const auto& job = batch.jobs()[i];
+      const auto& r = batch.runs()[i];
+      t.add_row({r.protocol, std::to_string(r.nodes), exp::fmt(r.zone_radius_m, 1),
+                 job.variant.empty() ? "-" : job.variant, std::to_string(job.seed),
+                 exp::fmt(r.delivery_ratio, 6), exp::fmt(r.mean_delay_ms, 6),
+                 exp::fmt(r.p95_delay_ms, 6), exp::fmt(r.max_delay_ms, 6),
+                 exp::fmt(r.protocol_energy_per_item_uj, 6), exp::fmt(r.energy_per_item_uj, 6),
+                 std::to_string(r.failures_injected), std::to_string(r.given_up),
+                 std::to_string(r.events_executed)});
+    }
+    print_formatted(t, format);
+  } else {
+    exp::Table t({"protocol", "nodes", "radius_m", "variant", "seeds", "delivery",
+                  "mean_delay_ms", "delay_sd", "p95_delay_ms", "uj_per_pkt_proto",
+                  "energy_sd", "uj_per_pkt_total", "given_up"});
+    for (const auto& p : batch.points()) {
+      const auto& s = p.stats;
+      t.add_row({s.protocol, std::to_string(s.nodes), exp::fmt(s.zone_radius_m, 1),
+                 p.variant.empty() ? "-" : p.variant, std::to_string(s.runs),
+                 exp::fmt(s.delivery_ratio.mean, 4), exp::fmt(s.mean_delay_ms.mean, 3),
+                 exp::fmt(s.mean_delay_ms.stddev, 3), exp::fmt(s.p95_delay_ms.mean, 3),
+                 exp::fmt(s.protocol_energy_per_item_uj.mean, 3),
+                 exp::fmt(s.protocol_energy_per_item_uj.stddev, 3),
+                 exp::fmt(s.energy_per_item_uj.mean, 3), exp::fmt(s.given_up.mean, 1)});
+    }
+    print_formatted(t, format);
+  }
+
+  // A tripped event guard means a truncated, untrustworthy run (see
+  // sim::Scheduler::run); surface it the same way single-run mode does.
+  bool limit_hit = false;
+  for (const auto& r : batch.runs()) {
+    if (r.event_limit_hit) {
+      limit_hit = true;
+      std::cerr << "warning: event limit hit in " << r.label << "\n";
+    }
+  }
+  return limit_hit ? 1 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace spms;
-
   exp::ExperimentConfig cfg;
   cfg.node_count = 49;
   cfg.traffic.packets_per_node = 2;
-  bool csv = false;
+
+  std::string scenario;
+  std::size_t seeds = 0;
+  std::size_t jobs = 1;
+  Format format = Format::kTable;
+  bool per_seed = false;
+  bool quiet = false;
+
+  // First mode-specific flag seen of each kind: single-run flags do nothing
+  // under --scenario (the registry defines the grid) and scenario flags do
+  // nothing without it, so either mix is an error rather than silence.
+  std::string single_flag;
+  std::string scenario_flag;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0 && arg != "--list" && arg != "--scenario" &&
+        arg != "--seeds" && arg != "--jobs" && arg != "--format" && arg != "--per-seed" &&
+        arg != "--quiet" && arg != "--csv" && arg != "--help" && single_flag.empty()) {
+      single_flag = arg;
+    }
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
-    if (arg == "--protocol") {
+    if (arg == "--list") {
+      return list_scenarios();
+    } else if (arg == "--scenario") {
+      scenario = next();
+    } else if (arg == "--seeds") {
+      scenario_flag = arg;
+      seeds = parse_size(next(), argv[0]);
+    } else if (arg == "--jobs") {
+      scenario_flag = arg;
+      jobs = parse_size(next(), argv[0]);
+    } else if (arg == "--format") {
+      format = parse_format(next(), argv[0]);
+    } else if (arg == "--per-seed") {
+      scenario_flag = arg;
+      per_seed = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--protocol") {
       const std::string p = next();
       if (p == "spms") {
         cfg.protocol = exp::ProtocolKind::kSpms;
@@ -60,15 +235,15 @@ int main(int argc, char** argv) {
         usage(argv[0]);
       }
     } else if (arg == "--nodes") {
-      cfg.node_count = static_cast<std::size_t>(std::stoul(next()));
+      cfg.node_count = parse_size(next(), argv[0]);
     } else if (arg == "--radius") {
-      cfg.zone_radius_m = std::stod(next());
+      cfg.zone_radius_m = parse_double(next(), argv[0]);
     } else if (arg == "--packets") {
-      cfg.traffic.packets_per_node = std::stoi(next());
+      cfg.traffic.packets_per_node = static_cast<int>(parse_size(next(), argv[0]));
     } else if (arg == "--pitch") {
-      cfg.grid_pitch_m = std::stod(next());
+      cfg.grid_pitch_m = parse_double(next(), argv[0]);
     } else if (arg == "--seed") {
-      cfg.seed = std::stoull(next());
+      cfg.seed = parse_u64(next(), argv[0]);
     } else if (arg == "--failures") {
       cfg.inject_failures = true;
       cfg.activity_horizon = sim::Duration::ms(2000);
@@ -83,26 +258,40 @@ int main(int argc, char** argv) {
     } else if (arg == "--random-deployment") {
       cfg.deployment = exp::Deployment::kUniformRandom;
     } else if (arg == "--cross-zone") {
-      cfg.spms_ext.cross_zone_ttl = static_cast<std::size_t>(std::stoul(next()));
+      cfg.spms_ext.cross_zone_ttl = parse_size(next(), argv[0]);
     } else if (arg == "--relay-caching") {
       cfg.spms_ext.relay_caching = true;
     } else if (arg == "--scones") {
-      cfg.spms_ext.num_scones = static_cast<std::size_t>(std::stoul(next()));
+      cfg.spms_ext.num_scones = parse_size(next(), argv[0]);
     } else if (arg == "--rx-power") {
-      cfg.energy.rx_power_mw = std::stod(next());
+      cfg.energy.rx_power_mw = parse_double(next(), argv[0]);
     } else if (arg == "--paper-mac") {
       cfg.mac.infinite_parallelism = true;
       cfg.mac.contention_g_ms = 0.01;
       cfg.proto.tout_adv = sim::Duration::ms(60.0);
       cfg.proto.tout_dat = sim::Duration::ms(120.0);
     } else if (arg == "--csv") {
-      csv = true;
+      format = Format::kCsv;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       usage(argv[0]);
     }
+  }
+
+  if (!scenario.empty()) {
+    if (!single_flag.empty()) {
+      std::cerr << single_flag << " is a single-run flag and has no effect with --scenario "
+                   "(the registry defines the grid; see EXPERIMENTS.md)\n";
+      return 2;
+    }
+    return run_scenario_mode(scenario, seeds, jobs, format, per_seed, quiet);
+  }
+  if (!scenario_flag.empty()) {
+    std::cerr << scenario_flag << " requires --scenario (single-run mode executes exactly "
+                 "one config; see --help)\n";
+    return 2;
   }
 
   const auto r = exp::run_experiment(cfg);
@@ -130,10 +319,6 @@ int main(int argc, char** argv) {
   t.add_row({"simulated time (ms)", exp::fmt(r.sim_time_ms, 1)});
   t.add_row({"events executed", std::to_string(r.events_executed)});
 
-  if (csv) {
-    t.print_csv(std::cout);
-  } else {
-    t.print(std::cout);
-  }
+  print_formatted(t, format);
   return r.event_limit_hit ? 1 : 0;
 }

@@ -1,0 +1,46 @@
+#include "exp/aggregate.hpp"
+
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace spms::exp {
+
+namespace {
+
+template <typename Get>
+stats::Aggregate over(const std::vector<RunResult>& runs, Get get) {
+  stats::Summary s;
+  for (const auto& r : runs) s.add(static_cast<double>(get(r)));
+  return stats::Aggregate::of(s);
+}
+
+}  // namespace
+
+AggregateResult aggregate(const std::vector<RunResult>& runs) {
+  if (runs.empty()) throw std::invalid_argument{"aggregate: no runs"};
+  AggregateResult a;
+  a.protocol = runs.front().protocol;
+  a.label = runs.front().label;
+  a.nodes = runs.front().nodes;
+  a.zone_radius_m = runs.front().zone_radius_m;
+  a.runs = runs.size();
+
+  a.delivery_ratio = over(runs, [](const RunResult& r) { return r.delivery_ratio; });
+  a.mean_delay_ms = over(runs, [](const RunResult& r) { return r.mean_delay_ms; });
+  a.p95_delay_ms = over(runs, [](const RunResult& r) { return r.p95_delay_ms; });
+  a.max_delay_ms = over(runs, [](const RunResult& r) { return r.max_delay_ms; });
+  a.energy_per_item_uj = over(runs, [](const RunResult& r) { return r.energy_per_item_uj; });
+  a.protocol_energy_per_item_uj =
+      over(runs, [](const RunResult& r) { return r.protocol_energy_per_item_uj; });
+  a.routing_energy_uj = over(runs, [](const RunResult& r) { return r.energy.routing_uj(); });
+  a.total_energy_uj = over(runs, [](const RunResult& r) { return r.energy.total_uj(); });
+  a.failures_injected = over(runs, [](const RunResult& r) { return r.failures_injected; });
+  a.mobility_epochs = over(runs, [](const RunResult& r) { return r.mobility_epochs; });
+  a.given_up = over(runs, [](const RunResult& r) { return r.given_up; });
+  a.sim_time_ms = over(runs, [](const RunResult& r) { return r.sim_time_ms; });
+  a.events_executed = over(runs, [](const RunResult& r) { return r.events_executed; });
+  return a;
+}
+
+}  // namespace spms::exp

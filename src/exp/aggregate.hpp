@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "stats/aggregate.hpp"
+
+/// \file aggregate.hpp
+/// Cross-seed dispersion statistics of a RunResult population.  Where
+/// runner.hpp's average() collapses several runs into one synthetic
+/// RunResult (kept for the legacy point-estimate callers), AggregateResult
+/// keeps mean / stddev / stderr / min / max per metric so figures can carry
+/// error bars, as the multi-seed methodology of the related evaluations
+/// requires.
+
+namespace spms::exp {
+
+/// Per-metric statistics across the runs of one experiment point.
+/// Identity fields are copied from the first run (all runs of a point share
+/// them by construction).
+struct AggregateResult {
+  std::string protocol;
+  std::string label;
+  std::size_t nodes = 0;
+  double zone_radius_m = 0.0;
+  std::size_t runs = 0;
+
+  stats::Aggregate delivery_ratio;
+  stats::Aggregate mean_delay_ms;
+  stats::Aggregate p95_delay_ms;
+  stats::Aggregate max_delay_ms;
+  stats::Aggregate energy_per_item_uj;
+  stats::Aggregate protocol_energy_per_item_uj;
+  stats::Aggregate routing_energy_uj;
+  stats::Aggregate total_energy_uj;
+  stats::Aggregate failures_injected;
+  stats::Aggregate mobility_epochs;
+  stats::Aggregate given_up;
+  stats::Aggregate sim_time_ms;
+  stats::Aggregate events_executed;
+};
+
+/// Computes per-metric statistics across `runs` (typically one per seed).
+/// Throws std::invalid_argument on an empty population.
+[[nodiscard]] AggregateResult aggregate(const std::vector<RunResult>& runs);
+
+}  // namespace spms::exp

@@ -1,0 +1,103 @@
+#include "exp/batch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace spms::exp {
+
+BatchResult::BatchResult(std::vector<SweepJob> jobs, std::vector<RunResult> runs)
+    : jobs_(std::move(jobs)), runs_(std::move(runs)) {
+  // Group the flat results by grid point.  Jobs of a point are contiguous in
+  // expansion order except for the protocol axis sitting between variant and
+  // seed, so group by the point index rather than assuming contiguity.
+  std::size_t num_points = 0;
+  for (const auto& job : jobs_) num_points = std::max(num_points, job.point + 1);
+  points_.resize(num_points);
+  for (const auto& job : jobs_) {
+    auto& p = points_[job.point];
+    if (p.runs.empty()) {
+      p.protocol = job.protocol;
+      p.node_count = job.node_count;
+      p.zone_radius_m = job.zone_radius_m;
+      p.variant = job.variant;
+    }
+    p.runs.push_back(runs_[job.index]);
+  }
+  for (auto& p : points_) p.stats = aggregate(p.runs);
+}
+
+const PointResult& BatchResult::point(ProtocolKind protocol, std::size_t node_count,
+                                      double zone_radius_m, std::string_view variant) const {
+  for (const auto& p : points_) {
+    if (p.protocol == protocol && p.node_count == node_count &&
+        p.zone_radius_m == zone_radius_m && p.variant == variant) {
+      return p;
+    }
+  }
+  throw std::out_of_range{"BatchResult::point: no such grid point"};
+}
+
+BatchResult BatchRunner::run(const SweepSpec& spec) const {
+  auto jobs = spec.expand();
+  std::vector<RunResult> runs(jobs.size());
+
+  const std::size_t workers =
+      std::min(options_.jobs == 0 ? default_jobs() : options_.jobs, jobs.size());
+
+  std::mutex mu;  // guards on_result + done counter
+  std::size_t done = 0;
+  const auto execute = [&](const SweepJob& job) {
+    auto result = run_experiment(job.config);
+    if (options_.on_result) {
+      const std::lock_guard<std::mutex> lock{mu};
+      runs[job.index] = std::move(result);
+      options_.on_result(job, runs[job.index], ++done, jobs.size());
+    } else {
+      // Distinct slots; no lock needed for the write itself.
+      runs[job.index] = std::move(result);
+    }
+  };
+
+  if (workers <= 1) {
+    for (const auto& job : jobs) execute(job);
+    return BatchResult{std::move(jobs), std::move(runs)};
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs.size()) return;
+        try {
+          execute(jobs[i]);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock{error_mu};
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return BatchResult{std::move(jobs), std::move(runs)};
+}
+
+std::size_t default_jobs() {
+  if (const char* env = std::getenv("SPMS_JOBS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace spms::exp

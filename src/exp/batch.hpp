@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/aggregate.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+
+/// \file batch.hpp
+/// The parallel batch engine.  A BatchRunner expands a SweepSpec and
+/// executes the jobs on a worker pool; each job builds and runs its own
+/// private Simulation, so jobs share nothing and the per-seed RunResults are
+/// bit-identical whatever the worker count.  Results come back both flat (in
+/// expansion order) and grouped per grid point with cross-seed statistics.
+
+namespace spms::exp {
+
+/// Results of one grid point: the per-seed runs (in seed order) plus their
+/// cross-seed dispersion statistics.
+struct PointResult {
+  ProtocolKind protocol = ProtocolKind::kSpms;
+  std::size_t node_count = 0;
+  double zone_radius_m = 0.0;
+  std::string variant;
+  std::vector<RunResult> runs;
+  AggregateResult stats;
+};
+
+/// Everything a batch produced.
+class BatchResult {
+ public:
+  BatchResult(std::vector<SweepJob> jobs, std::vector<RunResult> runs);
+
+  /// Per-job results, expansion order (parallel to `jobs()`).
+  [[nodiscard]] const std::vector<RunResult>& runs() const { return runs_; }
+  [[nodiscard]] const std::vector<SweepJob>& jobs() const { return jobs_; }
+
+  /// Per-grid-point results, grid order.
+  [[nodiscard]] const std::vector<PointResult>& points() const { return points_; }
+
+  /// Looks up one grid point by its axis coordinates.  Throws
+  /// std::out_of_range if the batch holds no such point.
+  [[nodiscard]] const PointResult& point(ProtocolKind protocol, std::size_t node_count,
+                                         double zone_radius_m,
+                                         std::string_view variant = "") const;
+
+ private:
+  std::vector<SweepJob> jobs_;
+  std::vector<RunResult> runs_;
+  std::vector<PointResult> points_;
+};
+
+/// Engine knobs.
+struct BatchOptions {
+  /// Worker threads; 0 means one per hardware thread.  1 runs inline.
+  std::size_t jobs = 1;
+  /// Invoked after each job completes (serialized; any thread's jobs).
+  std::function<void(const SweepJob&, const RunResult&, std::size_t done, std::size_t total)>
+      on_result;
+};
+
+/// Executes sweeps.  Stateless apart from its options; reusable.
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {}) : options_(std::move(options)) {}
+
+  /// Expands and runs the spec.  Exceptions thrown by a job are rethrown on
+  /// the calling thread (the first one, after all workers drain).
+  [[nodiscard]] BatchResult run(const SweepSpec& spec) const;
+
+ private:
+  BatchOptions options_;
+};
+
+/// Worker count used when the caller passes 0: SPMS_JOBS env var if set,
+/// else std::thread::hardware_concurrency (min 1).
+[[nodiscard]] std::size_t default_jobs();
+
+}  // namespace spms::exp

@@ -1,0 +1,275 @@
+#include "exp/scenario_registry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace spms::exp {
+
+namespace {
+
+constexpr std::size_t kNodesAxis[] = {25, 49, 100, 169, 225};
+constexpr double kRadiiAxis[] = {5.0, 10.0, 15.0, 20.0, 25.0, 30.0};
+
+std::vector<std::size_t> nodes_axis(std::size_t upto = 225) {
+  std::vector<std::size_t> out;
+  for (const auto n : kNodesAxis) {
+    if (n <= upto) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<double> radii_axis(double from = 5.0, double upto = 30.0) {
+  std::vector<double> out;
+  for (const auto r : kRadiiAxis) {
+    if (r >= from && r <= upto) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<ProtocolKind> pair_axis() {
+  return {ProtocolKind::kSpms, ProtocolKind::kSpin};
+}
+
+ConfigVariant clean() { return {"clean", nullptr}; }
+ConfigVariant failures() { return {"failures", scaled_failures}; }
+
+SweepSpec fig06() {
+  SweepSpec spec;
+  spec.name = "fig06";
+  spec.base = reference_config();
+  spec.protocols = pair_axis();
+  spec.node_counts = nodes_axis();
+  return spec;
+}
+
+SweepSpec fig07() {
+  SweepSpec spec;
+  spec.name = "fig07";
+  spec.base = reference_config();
+  spec.protocols = pair_axis();
+  spec.zone_radii = radii_axis();
+  return spec;
+}
+
+SweepSpec fig08() {
+  auto spec = fig06();
+  spec.name = "fig08";
+  return spec;
+}
+
+SweepSpec fig09() {
+  SweepSpec spec;
+  spec.name = "fig09";
+  spec.base = reference_config();
+  spec.protocols = pair_axis();
+  spec.zone_radii = radii_axis();
+  spec.variants = {{"shared", nullptr}, {"round-mac", round_dominated_mac}};
+  return spec;
+}
+
+SweepSpec fig10() {
+  SweepSpec spec;
+  spec.name = "fig10";
+  spec.base = reference_config();
+  spec.protocols = pair_axis();
+  spec.node_counts = nodes_axis(/*upto=*/169);
+  spec.variants = {clean(), failures()};
+  return spec;
+}
+
+SweepSpec fig11() {
+  SweepSpec spec;
+  spec.name = "fig11";
+  spec.base = reference_config();
+  spec.protocols = pair_axis();
+  spec.zone_radii = radii_axis();
+  spec.variants = {clean(), failures()};
+  return spec;
+}
+
+SweepSpec fig12() {
+  SweepSpec spec;
+  spec.name = "fig12";
+  spec.base = reference_config();
+  // The paper's full traffic load: the break-even analysis (Section 5.1.3)
+  // shows one full-zone DBF rebuild costs several hundred packets' worth of
+  // savings, so the figure only lands in the paper's 5-21% winning band when
+  // enough packets flow between reconvergences.
+  spec.base.traffic.packets_per_node = 10;
+  spec.base.mobility = true;
+  spec.base.mobility_params.epoch_interval = sim::Duration::ms(400);
+  spec.base.mobility_params.move_fraction = 0.05;
+  spec.base.activity_horizon = sim::Duration::ms(700);
+  spec.protocols = pair_axis();
+  spec.zone_radii = radii_axis(10.0, 25.0);
+  return spec;
+}
+
+SweepSpec fig13() {
+  SweepSpec spec;
+  spec.name = "fig13";
+  spec.base = reference_config();
+  spec.base.pattern = TrafficPattern::kCluster;
+  // The paper's stated reception assumption Er = Em: with so few deliveries
+  // per item a realistic receive draw would be dominated by zone-wide ADV
+  // reception that both protocols pay identically, flattening the figure;
+  // the 35-59% band is only consistent with Er = Em here (EXPERIMENTS.md).
+  spec.base.energy.rx_power_mw = 0.0125;
+  spec.base.traffic.packets_per_node = 5;
+  spec.protocols = pair_axis();
+  spec.zone_radii = radii_axis(10.0);
+  spec.variants = {clean(), failures()};
+  return spec;
+}
+
+SweepSpec ablation_mac() {
+  SweepSpec spec;
+  spec.name = "ablation_mac";
+  spec.base = reference_config();
+  spec.base.node_count = 49;
+  spec.protocols = pair_axis();
+  spec.variants = {
+      {"base", nullptr},
+      {"no-carrier-sense", [](ExperimentConfig& c) { c.mac.carrier_sense = false; }},
+      {"overhearing-charged", [](ExperimentConfig& c) { c.energy.charge_overhearing = true; }},
+      {"rx-0.0125", [](ExperimentConfig& c) { c.energy.rx_power_mw = 0.0125; }},
+      {"rx-0.05", [](ExperimentConfig& c) { c.energy.rx_power_mw = 0.05; }},
+      {"rx-0.2", [](ExperimentConfig& c) { c.energy.rx_power_mw = 0.2; }},
+      {"rx-0.8", [](ExperimentConfig& c) { c.energy.rx_power_mw = 0.8; }},
+  };
+  return spec;
+}
+
+SweepSpec flooding_baseline() {
+  SweepSpec spec;
+  spec.name = "flooding_baseline";
+  spec.base = reference_config();
+  spec.base.node_count = 49;
+  spec.base.protocol = ProtocolKind::kFlooding;
+  return spec;
+}
+
+SweepSpec mobility_breakeven() {
+  SweepSpec spec;
+  spec.name = "mobility_breakeven";
+  spec.base = reference_config();
+  spec.protocols = pair_axis();
+  spec.zone_radii = radii_axis(15.0, 25.0);
+  return spec;
+}
+
+SweepSpec extensions() {
+  SweepSpec spec;
+  spec.name = "extensions";
+  spec.base = reference_config();
+  spec.base.node_count = 100;
+  spec.base.protocol = ProtocolKind::kSpms;
+  spec.base.inject_failures = true;
+  spec.base.activity_horizon = sim::Duration::ms(2000);
+  const auto caching = [](ExperimentConfig& c) { c.spms_ext.relay_caching = true; };
+  const auto scones = [](ExperimentConfig& c) { c.spms_ext.num_scones = 2; };
+  const auto both = [=](ExperimentConfig& c) { caching(c); scones(c); };
+  const auto no_fail = [](ExperimentConfig& c) { c.inject_failures = false; };
+  spec.variants = {
+      {"published", nullptr},
+      {"relay-caching", caching},
+      {"scones-2", scones},
+      {"caching+scones-2", both},
+      {"published-clean", no_fail},
+      {"relay-caching-clean", [=](ExperimentConfig& c) { caching(c); no_fail(c); }},
+      {"scones-2-clean", [=](ExperimentConfig& c) { scones(c); no_fail(c); }},
+      {"caching+scones-2-clean", [=](ExperimentConfig& c) { both(c); no_fail(c); }},
+  };
+  return spec;
+}
+
+SweepSpec smoke() {
+  SweepSpec spec;
+  spec.name = "smoke";
+  spec.base = reference_config();
+  spec.base.node_count = 16;
+  spec.base.zone_radius_m = 12.0;
+  spec.base.traffic.packets_per_node = 1;
+  spec.protocols = pair_axis();
+  return spec;
+}
+
+}  // namespace
+
+ExperimentConfig reference_config() {
+  ExperimentConfig cfg;
+  cfg.node_count = 169;
+  cfg.grid_pitch_m = 5.0;
+  cfg.zone_radius_m = 20.0;
+  cfg.traffic.packets_per_node = 2;
+  cfg.seed = 2004;  // DSN 2004
+  if (const char* env = std::getenv("SPMS_BENCH_PACKETS")) {
+    cfg.traffic.packets_per_node = std::max(1, std::atoi(env));
+  }
+  if (const char* env = std::getenv("SPMS_BENCH_SEED")) {
+    cfg.seed = static_cast<std::uint64_t>(std::atoll(env));
+  }
+  return cfg;
+}
+
+void scaled_failures(ExperimentConfig& cfg) {
+  cfg.inject_failures = true;
+  cfg.failure.mean_time_between_failures = sim::Duration::ms(2500.0);
+  cfg.failure.repair_min = sim::Duration::ms(250.0);
+  cfg.failure.repair_max = sim::Duration::ms(750.0);
+  cfg.activity_horizon = sim::Duration::ms(6000.0);
+}
+
+void round_dominated_mac(ExperimentConfig& cfg) {
+  cfg.mac.infinite_parallelism = true;
+  cfg.proto.tout_adv = sim::Duration::ms(10.0);
+  cfg.proto.tout_dat = sim::Duration::ms(20.0);
+}
+
+const std::vector<ScenarioInfo>& scenario_registry() {
+  static const std::vector<ScenarioInfo> registry = {
+      {"fig06", "energy per packet vs number of nodes (all-to-all, static)",
+       "SPMS saves 26-43%; gap widens with the field", fig06},
+      {"fig07", "energy per packet vs transmission radius (169 nodes)",
+       "gap grows with radius; small at r<=10 m", fig07},
+      {"fig08", "mean delay vs number of nodes (all-to-all, static)",
+       "SPMS ~10x faster; gap widens with node count", fig08},
+      {"fig09", "mean delay vs transmission radius (169 nodes), two MAC regimes",
+       "delay falls with radius for both; SPMS below SPIN", fig09},
+      {"fig10", "mean delay vs number of nodes, with transient failures",
+       "failures raise delay; effect grows with node count", fig10},
+      {"fig11", "mean delay vs transmission radius, with transient failures",
+       "failure penalty grows with radius (more relays to lose)", fig11},
+      {"fig12", "energy per packet vs radius, mobile nodes (all-to-all)",
+       "SPMS wins by only 5-21% once DBF reconvergence is paid", fig12},
+      {"fig13", "energy per packet vs radius, cluster-based traffic",
+       "SPMS saves 35-59% failure-free; failures cost both more energy", fig13},
+      {"ablation_mac", "MAC / energy-model choices on the 49-node reference",
+       "not a paper figure; quantifies DESIGN.md decisions", ablation_mac},
+      {"flooding_baseline", "classic flooding on the 49-node reference",
+       "Section 1's baseline: full DATA frames from every node", flooding_baseline},
+      {"mobility_breakeven", "packets needed between mobility events (Section 5.1.3)",
+       "paper's calibration: 239.18 packets", mobility_breakeven},
+      {"extensions", "SPMS future-work features under failure churn",
+       "paper Section 6: relay caching should improve fault tolerance", extensions},
+      {"smoke", "16-node quick check (CI smoke; not a paper figure)",
+       "both protocols deliver everything on a small static grid", smoke},
+  };
+  return registry;
+}
+
+const ScenarioInfo* find_scenario(std::string_view name) {
+  const auto& registry = scenario_registry();
+  const auto it = std::find_if(registry.begin(), registry.end(),
+                               [&](const ScenarioInfo& s) { return s.name == name; });
+  return it == registry.end() ? nullptr : &*it;
+}
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  names.reserve(scenario_registry().size());
+  for (const auto& s : scenario_registry()) names.push_back(s.name);
+  return names;
+}
+
+}  // namespace spms::exp

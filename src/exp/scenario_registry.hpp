@@ -1,0 +1,52 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/config.hpp"
+#include "exp/sweep.hpp"
+
+/// \file scenario_registry.hpp
+/// Named experiment scenarios: the paper's figures/tables and this repo's
+/// ablations as declarative SweepSpecs.  Benches, tests and the CLI all pull
+/// their grids from here, so a figure's definition lives in exactly one
+/// place.  EXPERIMENTS.md documents every entry and its calibration.
+
+namespace spms::exp {
+
+/// One registry entry.  `make` builds a fresh SweepSpec each call (it
+/// re-reads the SPMS_BENCH_* calibration env vars via reference_config).
+struct ScenarioInfo {
+  std::string name;         ///< registry key, e.g. "fig08"
+  std::string title;        ///< what the sweep measures
+  std::string paper_claim;  ///< the claim the figure reproduces
+  std::function<SweepSpec()> make;
+};
+
+/// All registered scenarios, in presentation order.
+[[nodiscard]] const std::vector<ScenarioInfo>& scenario_registry();
+
+/// Looks up a scenario by name; nullptr if unknown.
+[[nodiscard]] const ScenarioInfo* find_scenario(std::string_view name);
+
+/// Names of every registered scenario, registry order.
+[[nodiscard]] std::vector<std::string> scenario_names();
+
+/// Reference experiment configuration (paper Table 1 + DESIGN.md Section 6).
+/// packets_per_node defaults to 2 instead of Table 1's 10 so the whole bench
+/// suite completes in minutes; SPMS_BENCH_PACKETS / SPMS_BENCH_SEED override
+/// (see EXPERIMENTS.md).
+[[nodiscard]] ExperimentConfig reference_config();
+
+/// Transient-failure regime scaled to this MAC's timescale: ≈20% downtime
+/// duty cycle, a couple of failures per node while traffic is in flight —
+/// the paper's relative churn on our stretched clock (EXPERIMENTS.md).
+void scaled_failures(ExperimentConfig& cfg);
+
+/// Round-dominated regime (paper-style MAC): no queueing, backoff + airtime
+/// only.  Isolates the paper's falling-delay-with-radius mechanism (Fig. 9).
+void round_dominated_mac(ExperimentConfig& cfg);
+
+}  // namespace spms::exp

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/config.hpp"
+
+/// \file sweep.hpp
+/// Declarative experiment grids.  A SweepSpec names the axes the paper's
+/// evaluation varies — protocol, network size, zone radius, a named config
+/// variant (failure / mobility / MAC regime), and seeds — and expands into
+/// the flat job list the batch engine executes.  Expansion is purely
+/// deterministic: the job order is a function of the spec alone, so results
+/// can be matched back to grid points regardless of how many workers ran
+/// them.
+
+namespace spms::exp {
+
+/// A named mutation of the base config (e.g. "failures" switches the
+/// transient-failure regime on).  An empty `apply` is the identity.
+struct ConfigVariant {
+  std::string name;
+  std::function<void(ExperimentConfig&)> apply;
+};
+
+/// One fully resolved unit of work: a config plus the axis coordinates it
+/// came from.  `point` indexes the grid point (all seeds of a point share
+/// it); `index` is the position in expansion order.
+struct SweepJob {
+  std::size_t index = 0;
+  std::size_t point = 0;
+  ProtocolKind protocol = ProtocolKind::kSpms;
+  std::size_t node_count = 0;
+  double zone_radius_m = 0.0;
+  std::string variant;
+  std::uint64_t seed = 0;
+  ExperimentConfig config;
+};
+
+/// An experiment grid: base config x axes.  An empty axis means "use the
+/// base config's value" (a single implicit entry), so a spec with all axes
+/// empty expands to exactly one job.
+struct SweepSpec {
+  std::string name;        ///< scenario tag, prefixed onto job labels
+  ExperimentConfig base;   ///< values not swept come from here
+  std::vector<ProtocolKind> protocols;
+  std::vector<std::size_t> node_counts;
+  std::vector<double> zone_radii;
+  std::vector<ConfigVariant> variants;
+  std::vector<std::uint64_t> seeds;
+
+  /// Replaces the seed axis with `count` consecutive seeds starting at
+  /// base.seed — the convention shared by the CLI's --seeds and the
+  /// benches' SPMS_BENCH_SEEDS.
+  void use_consecutive_seeds(std::size_t count);
+
+  /// Number of grid points (product of the non-seed axes).
+  [[nodiscard]] std::size_t point_count() const;
+
+  /// Number of jobs (points x seeds).
+  [[nodiscard]] std::size_t job_count() const;
+
+  /// Expands the grid in deterministic order: node_count (outer), then
+  /// zone_radius, then variant, then protocol, then seed (inner).  The
+  /// variant's apply runs after the axis fields are set and before the seed
+  /// is stamped, so variants may override any other knob.
+  [[nodiscard]] std::vector<SweepJob> expand() const;
+};
+
+}  // namespace spms::exp

@@ -45,6 +45,70 @@ void Table::print_csv(std::ostream& os) const {
   for (const auto& row : rows_) emit(row);
 }
 
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Matches the JSON number grammar exactly; strtod alone also accepts "nan",
+// "inf", hex floats, "+1", "0123", "1." and ".5", all invalid bare JSON.
+bool is_number(const std::string& s) {
+  const char* p = s.c_str();
+  const auto digits = [&] {
+    const char* start = p;
+    while (*p >= '0' && *p <= '9') ++p;
+    return p != start;
+  };
+  if (*p == '-') ++p;
+  if (*p == '0') {
+    ++p;  // a leading zero may not be followed by more digits
+  } else if (!digits()) {
+    return false;
+  }
+  if (*p == '.') {
+    ++p;
+    if (!digits()) return false;
+  }
+  if (*p == 'e' || *p == 'E') {
+    ++p;
+    if (*p == '+' || *p == '-') ++p;
+    if (!digits()) return false;
+  }
+  return *p == '\0';
+}
+
+}  // namespace
+
+void Table::print_json(std::ostream& os) const {
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) os << ", ";
+      os << '"' << json_escape(headers_[c]) << "\": ";
+      if (is_number(rows_[r][c])) {
+        os << rows_[r][c];
+      } else {
+        os << '"' << json_escape(rows_[r][c]) << '"';
+      }
+    }
+    os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+}
+
 std::string fmt(double v, int precision) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << v;

@@ -25,6 +25,10 @@ class Table {
   /// cells here are numbers and plain words).
   void print_csv(std::ostream& os) const;
 
+  /// Prints as a JSON array of objects keyed by the headers.  Cells that
+  /// parse fully as numbers are emitted bare; everything else is a string.
+  void print_json(std::ostream& os) const;
+
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
 
  private:

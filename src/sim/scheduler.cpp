@@ -10,6 +10,7 @@ EventHandle Scheduler::schedule_at(TimePoint at, EventFn fn) {
   if (at < now_) at = now_;
   const std::uint64_t id = next_seq_++;
   queue_.push(Entry{at, id, id, std::move(fn)});
+  live_.insert(id);
   return EventHandle{id};
 }
 
@@ -19,7 +20,10 @@ EventHandle Scheduler::schedule_after(Duration d, EventFn fn) {
 }
 
 void Scheduler::cancel(EventHandle h) {
-  if (h.valid()) cancelled_.insert(h.id);
+  // Only entries still queued may enter cancelled_; a stale handle (already
+  // fired or cancelled) would otherwise sit there forever and corrupt
+  // pending().
+  if (h.valid() && live_.erase(h.id) > 0) cancelled_.insert(h.id);
 }
 
 bool Scheduler::pop_live(Entry& out) {
@@ -35,6 +39,7 @@ bool Scheduler::pop_live(Entry& out) {
     }
     out = std::move(top);
     queue_.pop();
+    live_.erase(out.id);
     return true;
   }
   return false;
@@ -59,6 +64,7 @@ std::size_t Scheduler::run_until(TimePoint until) {
     if (e.at > until) {
       // The live event is beyond the horizon (a cancelled earlier one let us
       // get here); push it back untouched.
+      live_.insert(e.id);
       queue_.push(std::move(e));
       break;
     }

@@ -66,7 +66,7 @@ class Scheduler {
   std::size_t run(std::size_t max_events = kDefaultMaxEvents);
 
   /// Number of live (non-cancelled) pending events.
-  [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
 
   /// True if the guard in run() tripped.
   [[nodiscard]] bool event_limit_hit() const { return limit_hit_; }
@@ -91,6 +91,10 @@ class Scheduler {
   bool pop_live(Entry& out);
 
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  /// Ids still in the queue and not cancelled.  cancel() consults this so a
+  /// stale handle (already fired or already cancelled) never pollutes
+  /// cancelled_, which must only ever name entries still queued.
+  std::unordered_set<std::uint64_t> live_;
   std::unordered_set<std::uint64_t> cancelled_;
   TimePoint now_;
   std::uint64_t next_seq_ = 1;

@@ -1,0 +1,27 @@
+#include "stats/aggregate.hpp"
+
+namespace spms::stats {
+
+Aggregate Aggregate::of(const Summary& s) {
+  Aggregate a;
+  a.n = s.count();
+  a.mean = s.mean();
+  a.stddev = s.sample_stddev();
+  a.stderr_mean = s.stderr_mean();
+  a.min = s.min();
+  a.max = s.max();
+  return a;
+}
+
+Aggregate Aggregate::of_values(const double* xs, std::size_t n) {
+  Summary s;
+  for (std::size_t i = 0; i < n; ++i) s.add(xs[i]);
+  return of(s);
+}
+
+std::ostream& operator<<(std::ostream& os, const Aggregate& a) {
+  return os << a.mean << " ± " << a.stderr_mean << " (sd=" << a.stddev << ", n=" << a.n
+            << ", range [" << a.min << ", " << a.max << "])";
+}
+
+}  // namespace spms::stats

@@ -44,6 +44,13 @@ class Summary {
   /// Population variance; 0 for fewer than two observations.
   [[nodiscard]] double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
   [[nodiscard]] double stddev() const;
+  /// Unbiased (n-1) sample variance; 0 for fewer than two observations.
+  [[nodiscard]] double sample_variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double sample_stddev() const;
+  /// Standard error of the mean (sample stddev / sqrt(n)); 0 below two.
+  [[nodiscard]] double stderr_mean() const;
   [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
   [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
 

@@ -1,0 +1,228 @@
+#include "exp/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "exp/scenario_registry.hpp"
+
+/// Batch-engine invariants: deterministic expansion, bit-identical results
+/// whatever the worker count, correct grouping/lookup, and registry sanity.
+
+namespace spms::exp {
+namespace {
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.name = "test";
+  spec.base.node_count = 16;
+  spec.base.zone_radius_m = 12.0;
+  spec.base.traffic.packets_per_node = 1;
+  spec.protocols = {ProtocolKind::kSpms, ProtocolKind::kSpin};
+  spec.seeds = {1, 2, 3, 4};
+  return spec;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.protocol, b.protocol);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.items_published, b.items_published);
+  EXPECT_EQ(a.expected_deliveries, b.expected_deliveries);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  // Exact bit equality: parallel runs share nothing, so the doubles must
+  // match to the last ulp, not just approximately.
+  EXPECT_EQ(a.delivery_ratio, b.delivery_ratio);
+  EXPECT_EQ(a.mean_delay_ms, b.mean_delay_ms);
+  EXPECT_EQ(a.p95_delay_ms, b.p95_delay_ms);
+  EXPECT_EQ(a.max_delay_ms, b.max_delay_ms);
+  EXPECT_EQ(a.energy_per_item_uj, b.energy_per_item_uj);
+  EXPECT_EQ(a.protocol_energy_per_item_uj, b.protocol_energy_per_item_uj);
+  EXPECT_EQ(a.energy.protocol_tx_uj, b.energy.protocol_tx_uj);
+  EXPECT_EQ(a.energy.protocol_rx_uj, b.energy.protocol_rx_uj);
+  EXPECT_EQ(a.energy.routing_tx_uj, b.energy.routing_tx_uj);
+  EXPECT_EQ(a.energy.routing_rx_uj, b.energy.routing_rx_uj);
+  EXPECT_EQ(a.net_counters.tx_adv, b.net_counters.tx_adv);
+  EXPECT_EQ(a.net_counters.tx_req, b.net_counters.tx_req);
+  EXPECT_EQ(a.net_counters.tx_data, b.net_counters.tx_data);
+  EXPECT_EQ(a.net_counters.tx_route, b.net_counters.tx_route);
+  EXPECT_EQ(a.net_counters.tx_bytes, b.net_counters.tx_bytes);
+  EXPECT_EQ(a.failures_injected, b.failures_injected);
+  EXPECT_EQ(a.given_up, b.given_up);
+  EXPECT_EQ(a.sim_time_ms, b.sim_time_ms);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.event_limit_hit, b.event_limit_hit);
+}
+
+TEST(SweepSpecTest, EmptyAxesExpandToOneJobFromBase) {
+  SweepSpec spec;
+  spec.base.node_count = 25;
+  spec.base.seed = 7;
+  EXPECT_EQ(spec.point_count(), 1u);
+  EXPECT_EQ(spec.job_count(), 1u);
+  const auto jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].config.node_count, 25u);
+  EXPECT_EQ(jobs[0].config.seed, 7u);
+  EXPECT_EQ(jobs[0].point, 0u);
+}
+
+TEST(SweepSpecTest, ExpansionOrderIsDeterministicAndComplete) {
+  SweepSpec spec;
+  spec.name = "grid";
+  spec.protocols = {ProtocolKind::kSpms, ProtocolKind::kSpin};
+  spec.node_counts = {16, 25};
+  spec.zone_radii = {10.0, 20.0};
+  spec.variants = {{"a", nullptr}, {"b", nullptr}};
+  spec.seeds = {1, 2, 3};
+  EXPECT_EQ(spec.point_count(), 16u);
+  EXPECT_EQ(spec.job_count(), 48u);
+  const auto jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 48u);
+  // Seeds are innermost: consecutive jobs of one point share everything but
+  // the seed; points are numbered contiguously.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].index, i);
+    EXPECT_EQ(jobs[i].point, i / 3);
+    EXPECT_EQ(jobs[i].seed, spec.seeds[i % 3]);
+  }
+  // Every (point, seed) combination appears exactly once, and the label
+  // encodes the full coordinates.
+  std::set<std::string> labels;
+  for (const auto& job : jobs) labels.insert(job.config.label);
+  EXPECT_EQ(labels.size(), 48u);
+  EXPECT_EQ(jobs[0].config.label, "grid/SPMS/n16/r10/a/s1");
+}
+
+TEST(SweepSpecTest, VariantsMayOverrideAnyKnobButNotSeed) {
+  SweepSpec spec;
+  spec.variants = {{"hot", [](ExperimentConfig& c) {
+                      c.inject_failures = true;
+                      c.seed = 999;  // stamped over by the seed axis
+                    }}};
+  spec.seeds = {5};
+  const auto jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_TRUE(jobs[0].config.inject_failures);
+  EXPECT_EQ(jobs[0].config.seed, 5u);
+}
+
+TEST(BatchRunnerTest, ParallelRunsAreBitIdenticalToSerial) {
+  const auto spec = small_spec();
+  BatchOptions serial;
+  serial.jobs = 1;
+  BatchOptions parallel;
+  parallel.jobs = 8;
+  const auto a = BatchRunner{serial}.run(spec);
+  const auto b = BatchRunner{parallel}.run(spec);
+  ASSERT_EQ(a.runs().size(), 8u);
+  ASSERT_EQ(b.runs().size(), 8u);
+  for (std::size_t i = 0; i < a.runs().size(); ++i) {
+    expect_identical(a.runs()[i], b.runs()[i]);
+  }
+}
+
+TEST(BatchRunnerTest, PointLookupGroupsSeedsInOrder) {
+  const auto spec = small_spec();
+  BatchOptions options;
+  options.jobs = 4;
+  const auto batch = BatchRunner{options}.run(spec);
+  ASSERT_EQ(batch.points().size(), 2u);
+  const auto& spms_pt = batch.point(ProtocolKind::kSpms, 16, 12.0);
+  ASSERT_EQ(spms_pt.runs.size(), 4u);
+  EXPECT_EQ(spms_pt.stats.runs, 4u);
+  EXPECT_EQ(spms_pt.stats.protocol, "SPMS");
+  // Seed order within a point matches the spec's seed list: rerunning seed 3
+  // alone must reproduce runs[2].
+  ExperimentConfig cfg = spec.base;
+  cfg.protocol = ProtocolKind::kSpms;
+  cfg.seed = 3;
+  const auto lone = run_experiment(cfg);
+  EXPECT_EQ(lone.mean_delay_ms, spms_pt.runs[2].mean_delay_ms);
+  EXPECT_EQ(lone.events_executed, spms_pt.runs[2].events_executed);
+  EXPECT_THROW((void)batch.point(ProtocolKind::kFlooding, 16, 12.0), std::out_of_range);
+}
+
+TEST(BatchRunnerTest, OnResultReportsEveryJobExactlyOnce) {
+  const auto spec = small_spec();
+  BatchOptions options;
+  options.jobs = 3;
+  std::set<std::size_t> seen;
+  std::size_t max_done = 0;
+  options.on_result = [&](const SweepJob& job, const RunResult&, std::size_t done,
+                          std::size_t total) {
+    seen.insert(job.index);
+    max_done = std::max(max_done, done);
+    EXPECT_EQ(total, 8u);
+  };
+  const auto batch = BatchRunner{options}.run(spec);
+  EXPECT_EQ(batch.runs().size(), 8u);
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_EQ(max_done, 8u);
+}
+
+TEST(AggregateTest, MatchesHandComputedStatistics) {
+  // Three synthetic runs with known delays: 2, 4, 9.
+  std::vector<RunResult> runs(3);
+  runs[0].mean_delay_ms = 2.0;
+  runs[1].mean_delay_ms = 4.0;
+  runs[2].mean_delay_ms = 9.0;
+  runs[0].protocol = runs[1].protocol = runs[2].protocol = "SPMS";
+  const auto a = aggregate(runs);
+  EXPECT_EQ(a.runs, 3u);
+  EXPECT_EQ(a.protocol, "SPMS");
+  EXPECT_NEAR(a.mean_delay_ms.mean, 5.0, 1e-12);
+  // Sample variance: ((2-5)^2 + (4-5)^2 + (9-5)^2) / 2 = 13.
+  EXPECT_NEAR(a.mean_delay_ms.stddev, std::sqrt(13.0), 1e-12);
+  EXPECT_NEAR(a.mean_delay_ms.stderr_mean, std::sqrt(13.0 / 3.0), 1e-12);
+  EXPECT_EQ(a.mean_delay_ms.min, 2.0);
+  EXPECT_EQ(a.mean_delay_ms.max, 9.0);
+  EXPECT_THROW(aggregate({}), std::invalid_argument);
+}
+
+TEST(ScenarioRegistryTest, AllScenariosExpandAndCarryMetadata) {
+  const auto& registry = scenario_registry();
+  ASSERT_FALSE(registry.empty());
+  std::set<std::string> names;
+  for (const auto& s : registry) {
+    EXPECT_FALSE(s.title.empty()) << s.name;
+    EXPECT_FALSE(s.paper_claim.empty()) << s.name;
+    const auto spec = s.make();
+    EXPECT_GT(spec.job_count(), 0u) << s.name;
+    EXPECT_EQ(spec.name, s.name);
+    names.insert(s.name);
+  }
+  EXPECT_EQ(names.size(), registry.size()) << "duplicate scenario names";
+  EXPECT_EQ(find_scenario("nope"), nullptr);
+  ASSERT_NE(find_scenario("fig08"), nullptr);
+}
+
+TEST(ScenarioRegistryTest, Fig08GridMatchesThePaper) {
+  const auto spec = find_scenario("fig08")->make();
+  EXPECT_EQ(spec.node_counts, (std::vector<std::size_t>{25, 49, 100, 169, 225}));
+  EXPECT_EQ(spec.protocols, (std::vector<ProtocolKind>{ProtocolKind::kSpms,
+                                                       ProtocolKind::kSpin}));
+  EXPECT_EQ(spec.base.zone_radius_m, 20.0);
+  EXPECT_EQ(spec.point_count(), 10u);
+}
+
+TEST(ScenarioRegistryTest, FailureVariantsApplyTheScaledRegime) {
+  const auto spec = find_scenario("fig10")->make();
+  const auto jobs = spec.expand();
+  bool saw_failures = false, saw_clean = false;
+  for (const auto& job : jobs) {
+    if (job.variant == "failures") {
+      saw_failures = true;
+      EXPECT_TRUE(job.config.inject_failures);
+    } else {
+      saw_clean = true;
+      EXPECT_FALSE(job.config.inject_failures);
+    }
+  }
+  EXPECT_TRUE(saw_failures);
+  EXPECT_TRUE(saw_clean);
+}
+
+}  // namespace
+}  // namespace spms::exp

@@ -127,6 +127,34 @@ TEST(TableTest, AlignedOutput) {
   EXPECT_EQ(t.rows(), 2u);
 }
 
+TEST(TableTest, JsonOutputQuotesOnlyValidJsonNumbers) {
+  Table t({"a", "b"});
+  // Left cells are valid bare JSON numbers; right cells look numeric to
+  // strtod but are not valid JSON and must stay quoted.
+  t.add_row({"-1.25e3", "nan"});
+  t.add_row({"0.5", "+1"});
+  t.add_row({"0", "0123"});
+  t.add_row({"12", "1."});
+  t.add_row({"3e8", ".5"});
+  std::ostringstream os;
+  t.print_json(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("\"a\": -1.25e3,"), std::string::npos);
+  EXPECT_NE(s.find("\"a\": 0.5,"), std::string::npos);
+  EXPECT_NE(s.find("\"a\": 0,"), std::string::npos);
+  EXPECT_NE(s.find("\"b\": \"nan\""), std::string::npos);
+  EXPECT_NE(s.find("\"b\": \"+1\""), std::string::npos);
+  EXPECT_NE(s.find("\"b\": \"0123\""), std::string::npos);
+  EXPECT_NE(s.find("\"b\": \"1.\""), std::string::npos);
+  EXPECT_NE(s.find("\"b\": \".5\""), std::string::npos);
+  // Escaping: quotes and backslashes survive round-trippably.
+  Table t2({"k"});
+  t2.add_row({"say \"hi\"\\now"});
+  std::ostringstream os2;
+  t2.print_json(os2);
+  EXPECT_NE(os2.str().find("\"say \\\"hi\\\"\\\\now\""), std::string::npos);
+}
+
 TEST(TableTest, CsvOutput) {
   Table t({"a", "b"});
   t.add_row({"1", "2"});

@@ -89,6 +89,52 @@ TEST(SchedulerTest, CancelAlreadyFiredIsNoop) {
   EXPECT_EQ(runs, 2);
 }
 
+TEST(SchedulerTest, CancelAfterFireKeepsPendingAccurate) {
+  // Regression: a stale cancel used to park the id in the cancelled set
+  // forever, underflowing pending() (size_t) and tripping run()'s
+  // limit-hit logic on a drained queue.
+  Scheduler s;
+  const auto h = s.schedule_at(TimePoint::at(Duration::millis(1)), [] {});
+  s.run();
+  EXPECT_EQ(s.pending(), 0u);
+  s.cancel(h);  // already fired
+  EXPECT_EQ(s.pending(), 0u);
+  s.schedule_at(TimePoint::at(Duration::millis(2)), [] {});
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_EQ(s.run(/*max_events=*/1), 1u);
+  EXPECT_FALSE(s.event_limit_hit());
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerTest, DoubleCancelCountsOnce) {
+  Scheduler s;
+  const auto h = s.schedule_at(TimePoint::at(Duration::millis(1)), [] {});
+  s.schedule_at(TimePoint::at(Duration::millis(2)), [] {});
+  s.cancel(h);
+  s.cancel(h);  // second cancel of the same pending event must be a no-op
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_EQ(s.run(), 1u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerTest, RunUntilPushBackKeepsEventLive) {
+  // pop_live removes an entry from the live set; run_until's push-back of a
+  // beyond-horizon event must restore it or pending() undercounts.
+  Scheduler s;
+  const auto h = s.schedule_at(TimePoint::at(Duration::millis(1)), [] {});
+  bool late_ran = false;
+  s.schedule_at(TimePoint::at(Duration::millis(10)), [&] { late_ran = true; });
+  s.cancel(h);
+  EXPECT_EQ(s.run_until(TimePoint::at(Duration::millis(5))), 0u);
+  EXPECT_EQ(s.pending(), 1u);
+  const auto h2 = s.schedule_at(TimePoint::at(Duration::millis(11)), [] {});
+  s.cancel(h2);  // cancelling the re-pushed neighbour must still work
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_TRUE(late_ran);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
 TEST(SchedulerTest, PendingExcludesCancelled) {
   Scheduler s;
   const auto h1 = s.schedule_at(TimePoint::at(Duration::millis(1)), [] {});
