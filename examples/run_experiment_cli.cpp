@@ -1,15 +1,23 @@
 /// \file run_experiment_cli.cpp
 /// Command-line experiment driver.
 ///
-/// Two modes:
+/// Three modes:
 ///
 ///  * Scenario mode — run a named registry scenario on the parallel batch
 ///    engine:
 ///      run_experiment_cli --scenario fig08 --seeds 8 --jobs 8 --format csv
+///      run_experiment_cli --scenario fig08 --store results/ --shard 0/2
 ///      run_experiment_cli --list
 ///    Prints one row per grid point with cross-seed mean/stddev (add
 ///    --per-seed for one row per run).  The per-seed metrics are
 ///    bit-identical whatever --jobs is: every job owns a private Simulation.
+///    With --store DIR, finished jobs persist under DIR and later runs only
+///    execute the missing cells (resume; see EXPERIMENTS.md).  --shard i/N
+///    runs a deterministic 1/N slice of the sweep (shard stores are merged
+///    with the merge mode below).
+///
+///  * Merge mode — union shard stores into one:
+///      run_experiment_cli merge DEST_STORE SRC_STORE...
 ///
 ///  * Single-run mode (no --scenario) — every knob of ExperimentConfig
 ///    behind flags, one run, metric/value table:
@@ -17,15 +25,20 @@
 ///
 /// Output formats: table (default), csv, json.
 
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "exp/batch.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario_registry.hpp"
+#include "exp/store/result_store.hpp"
 #include "exp/table.hpp"
 
 namespace {
@@ -35,14 +48,16 @@ using namespace spms;
 [[noreturn]] void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " --scenario NAME [--seeds K] [--jobs N]\n"
+         "       [--store DIR] [--no-cache] [--shard I/N] [--max-events N]\n"
          "       [--format table|csv|json] [--per-seed] [--quiet]\n"
          "   or: " << argv0 << " --list\n"
+         "   or: " << argv0 << " merge DEST_STORE SRC_STORE...\n"
          "   or: " << argv0
       << " [--protocol spms|spin|flood] [--nodes N] [--radius M] [--packets K]\n"
-         "       [--pitch M] [--seed S] [--failures] [--mobility] [--cluster] [--sink]\n"
-         "       [--random-deployment] [--cross-zone TTL] [--relay-caching]\n"
-         "       [--scones N] [--rx-power MW] [--paper-mac] [--format table|csv|json]\n"
-         "       [--csv]\n";
+         "       [--pitch M] [--seed S] [--max-events N] [--failures] [--mobility]\n"
+         "       [--cluster] [--sink] [--random-deployment] [--cross-zone TTL]\n"
+         "       [--relay-caching] [--scones N] [--rx-power MW] [--paper-mac]\n"
+         "       [--format table|csv|json] [--csv]\n";
   std::exit(2);
 }
 
@@ -59,15 +74,17 @@ bool all_digits(const char* s) {
 
 std::size_t parse_size(const char* s, const char* argv0) {
   char* end = nullptr;
+  errno = 0;
   const unsigned long v = std::strtoul(s, &end, 10);
-  if (!all_digits(s) || end == s || *end != '\0') usage(argv0);
+  if (!all_digits(s) || end == s || *end != '\0' || errno == ERANGE) usage(argv0);
   return static_cast<std::size_t>(v);
 }
 
 std::uint64_t parse_u64(const char* s, const char* argv0) {
   char* end = nullptr;
+  errno = 0;
   const unsigned long long v = std::strtoull(s, &end, 10);
-  if (!all_digits(s) || end == s || *end != '\0') usage(argv0);
+  if (!all_digits(s) || end == s || *end != '\0' || errno == ERANGE) usage(argv0);
   return static_cast<std::uint64_t>(v);
 }
 
@@ -93,6 +110,55 @@ void print_formatted(const exp::Table& t, Format format) {
   }
 }
 
+// "I/N" with I < N, N >= 1.
+void parse_shard(const char* s, std::size_t& index, std::size_t& count, const char* argv0) {
+  const char* slash = std::strchr(s, '/');
+  if (slash == nullptr || slash == s || slash[1] == '\0') usage(argv0);
+  const std::string left{s, slash};
+  index = parse_size(left.c_str(), argv0);
+  count = parse_size(slash + 1, argv0);
+  if (count == 0 || index >= count) {
+    std::cerr << "--shard " << s << ": need I/N with I < N\n";
+    std::exit(2);
+  }
+}
+
+int merge_stores(int argc, char** argv) {
+  if (argc < 4) usage(argv[0]);
+  // Sources must already exist: a typo would otherwise become a fresh empty
+  // store and the merge would silently drop that shard's results.
+  for (int i = 3; i < argc; ++i) {
+    if (!std::filesystem::is_directory(argv[i])) {
+      std::cerr << "merge: source store '" << argv[i] << "' does not exist\n";
+      return 2;
+    }
+  }
+  std::size_t before = 0;
+  std::size_t corrupt = 0;
+  std::unique_ptr<exp::store::ResultStore> dest;
+  try {
+    dest = std::make_unique<exp::store::ResultStore>(argv[2]);
+    dest->load();
+    before = dest->size();
+    corrupt = dest->corrupt_lines();
+    for (int i = 3; i < argc; ++i) {
+      exp::store::ResultStore src{argv[i]};
+      src.load();
+      corrupt += src.corrupt_lines();
+      dest->merge_from(src);
+    }
+    dest->compact();
+  } catch (const std::exception& e) {
+    std::cerr << "merge: " << e.what() << "\n";
+    return 2;
+  }
+  std::cerr << "merged " << (dest->size() - before) << " new results into " << argv[2] << " ("
+            << dest->size() << " total";
+  if (corrupt > 0) std::cerr << ", " << corrupt << " corrupt lines skipped";
+  std::cerr << ")\n";
+  return 0;
+}
+
 int list_scenarios() {
   exp::Table t({"scenario", "jobs/seed", "what it measures"});
   for (const auto& s : exp::scenario_registry()) {
@@ -102,19 +168,50 @@ int list_scenarios() {
   return 0;
 }
 
-int run_scenario_mode(const std::string& name, std::size_t seeds, std::size_t jobs,
-                      Format format, bool per_seed, bool quiet) {
+struct ScenarioOptions {
+  std::size_t seeds = 0;
+  std::size_t jobs = 1;
+  Format format = Format::kTable;
+  bool per_seed = false;
+  bool quiet = false;
+  std::string store_dir;
+  bool use_cache = true;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::size_t max_events = 0;
+};
+
+int run_scenario_mode(const std::string& name, const ScenarioOptions& opt) {
   const auto* info = exp::find_scenario(name);
   if (info == nullptr) {
     std::cerr << "unknown scenario '" << name << "'; --list shows the registry\n";
     return 2;
   }
   auto spec = info->make();
-  if (seeds > 0) spec.use_consecutive_seeds(seeds);
+  if (opt.seeds > 0) spec.use_consecutive_seeds(opt.seeds);
+  if (opt.max_events > 0) spec.max_events_override = opt.max_events;
+
+  std::unique_ptr<exp::store::ResultStore> store;
+  if (!opt.store_dir.empty()) {
+    try {
+      store = std::make_unique<exp::store::ResultStore>(opt.store_dir);
+      store->load();
+    } catch (const std::exception& e) {
+      std::cerr << "--store " << opt.store_dir << ": " << e.what() << "\n";
+      return 2;
+    }
+    if (!opt.quiet && store->corrupt_lines() > 0) {
+      std::cerr << "store: skipped " << store->corrupt_lines() << " corrupt lines\n";
+    }
+  }
 
   exp::BatchOptions options;
-  options.jobs = jobs;
-  if (!quiet) {
+  options.jobs = opt.jobs;
+  options.store = store.get();
+  options.use_cache = opt.use_cache;
+  options.shard_index = opt.shard_index;
+  options.shard_count = opt.shard_count;
+  if (!opt.quiet) {
     options.on_result = [](const exp::SweepJob& job, const exp::RunResult&, std::size_t done,
                            std::size_t total) {
       std::cerr << "[" << done << "/" << total << "] " << job.config.label << "\n";
@@ -122,15 +219,25 @@ int run_scenario_mode(const std::string& name, std::size_t seeds, std::size_t jo
   }
 
   const auto t0 = std::chrono::steady_clock::now();
-  const auto batch = exp::BatchRunner{options}.run(spec);
+  std::optional<exp::BatchResult> ran;
+  try {
+    ran.emplace(exp::BatchRunner{options}.run(spec));
+  } catch (const std::exception& e) {
+    // E.g. a store write failing mid-sweep (disk full): the store already
+    // flushed everything that finished, so a rerun resumes from there.
+    std::cerr << "scenario " << name << ": " << e.what() << "\n";
+    return 2;
+  }
+  const auto& batch = *ran;
   const auto elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  if (!quiet) {
-    std::cerr << "ran " << batch.runs().size() << " jobs in " << exp::fmt(elapsed, 2)
-              << " s (" << (jobs == 0 ? exp::default_jobs() : jobs) << " workers)\n";
+  if (!opt.quiet) {
+    std::cerr << "executed " << batch.executed() << " jobs (" << batch.cached()
+              << " cached) in " << exp::fmt(elapsed, 2) << " s ("
+              << (opt.jobs == 0 ? exp::default_jobs() : opt.jobs) << " workers)\n";
   }
 
-  if (per_seed) {
+  if (opt.per_seed) {
     exp::Table t({"protocol", "nodes", "radius_m", "variant", "seed", "delivery",
                   "mean_delay_ms", "p95_delay_ms", "max_delay_ms", "uj_per_pkt_proto",
                   "uj_per_pkt_total", "failures", "given_up", "events"});
@@ -145,7 +252,7 @@ int run_scenario_mode(const std::string& name, std::size_t seeds, std::size_t jo
                  std::to_string(r.failures_injected), std::to_string(r.given_up),
                  std::to_string(r.events_executed)});
     }
-    print_formatted(t, format);
+    print_formatted(t, opt.format);
   } else {
     exp::Table t({"protocol", "nodes", "radius_m", "variant", "seeds", "delivery",
                   "mean_delay_ms", "delay_sd", "p95_delay_ms", "uj_per_pkt_proto",
@@ -160,7 +267,7 @@ int run_scenario_mode(const std::string& name, std::size_t seeds, std::size_t jo
                  exp::fmt(s.protocol_energy_per_item_uj.stddev, 3),
                  exp::fmt(s.energy_per_item_uj.mean, 3), exp::fmt(s.given_up.mean, 1)});
     }
-    print_formatted(t, format);
+    print_formatted(t, opt.format);
   }
 
   // A tripped event guard means a truncated, untrustworthy run (see
@@ -178,16 +285,14 @@ int run_scenario_mode(const std::string& name, std::size_t seeds, std::size_t jo
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "merge") == 0) return merge_stores(argc, argv);
+
   exp::ExperimentConfig cfg;
   cfg.node_count = 49;
   cfg.traffic.packets_per_node = 2;
 
   std::string scenario;
-  std::size_t seeds = 0;
-  std::size_t jobs = 1;
-  Format format = Format::kTable;
-  bool per_seed = false;
-  bool quiet = false;
+  ScenarioOptions sopt;
 
   // First mode-specific flag seen of each kind: single-run flags do nothing
   // under --scenario (the registry defines the grid) and scenario flags do
@@ -199,7 +304,9 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0 && arg != "--list" && arg != "--scenario" &&
         arg != "--seeds" && arg != "--jobs" && arg != "--format" && arg != "--per-seed" &&
-        arg != "--quiet" && arg != "--csv" && arg != "--help" && single_flag.empty()) {
+        arg != "--quiet" && arg != "--csv" && arg != "--help" && arg != "--store" &&
+        arg != "--no-cache" && arg != "--shard" && arg != "--max-events" &&
+        single_flag.empty()) {
       single_flag = arg;
     }
     const auto next = [&]() -> const char* {
@@ -212,17 +319,33 @@ int main(int argc, char** argv) {
       scenario = next();
     } else if (arg == "--seeds") {
       scenario_flag = arg;
-      seeds = parse_size(next(), argv[0]);
+      sopt.seeds = parse_size(next(), argv[0]);
     } else if (arg == "--jobs") {
       scenario_flag = arg;
-      jobs = parse_size(next(), argv[0]);
+      sopt.jobs = parse_size(next(), argv[0]);
     } else if (arg == "--format") {
-      format = parse_format(next(), argv[0]);
+      sopt.format = parse_format(next(), argv[0]);
     } else if (arg == "--per-seed") {
       scenario_flag = arg;
-      per_seed = true;
+      sopt.per_seed = true;
     } else if (arg == "--quiet") {
-      quiet = true;
+      sopt.quiet = true;
+    } else if (arg == "--store") {
+      scenario_flag = arg;
+      sopt.store_dir = next();
+      if (sopt.store_dir.empty()) usage(argv[0]);
+    } else if (arg == "--no-cache") {
+      scenario_flag = arg;
+      sopt.use_cache = false;
+    } else if (arg == "--shard") {
+      scenario_flag = arg;
+      parse_shard(next(), sopt.shard_index, sopt.shard_count, argv[0]);
+    } else if (arg == "--max-events") {
+      // Valid in both modes: a runaway guard, not a grid knob.
+      const std::size_t v = parse_size(next(), argv[0]);
+      if (v == 0) usage(argv[0]);
+      cfg.max_events = v;
+      sopt.max_events = v;
     } else if (arg == "--protocol") {
       const std::string p = next();
       if (p == "spms") {
@@ -271,7 +394,7 @@ int main(int argc, char** argv) {
       cfg.proto.tout_adv = sim::Duration::ms(60.0);
       cfg.proto.tout_dat = sim::Duration::ms(120.0);
     } else if (arg == "--csv") {
-      format = Format::kCsv;
+      sopt.format = Format::kCsv;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -286,7 +409,7 @@ int main(int argc, char** argv) {
                    "(the registry defines the grid; see EXPERIMENTS.md)\n";
       return 2;
     }
-    return run_scenario_mode(scenario, seeds, jobs, format, per_seed, quiet);
+    return run_scenario_mode(scenario, sopt);
   }
   if (!scenario_flag.empty()) {
     std::cerr << scenario_flag << " requires --scenario (single-run mode executes exactly "
@@ -319,6 +442,6 @@ int main(int argc, char** argv) {
   t.add_row({"simulated time (ms)", exp::fmt(r.sim_time_ms, 1)});
   t.add_row({"events executed", std::to_string(r.events_executed)});
 
-  print_formatted(t, format);
+  print_formatted(t, sopt.format);
   return r.event_limit_hit ? 1 : 0;
 }

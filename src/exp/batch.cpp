@@ -6,26 +6,30 @@
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "exp/store/result_store.hpp"
 
 namespace spms::exp {
 
-BatchResult::BatchResult(std::vector<SweepJob> jobs, std::vector<RunResult> runs)
-    : jobs_(std::move(jobs)), runs_(std::move(runs)) {
-  // Group the flat results by grid point.  Jobs of a point are contiguous in
-  // expansion order except for the protocol axis sitting between variant and
-  // seed, so group by the point index rather than assuming contiguity.
-  std::size_t num_points = 0;
-  for (const auto& job : jobs_) num_points = std::max(num_points, job.point + 1);
-  points_.resize(num_points);
+BatchResult::BatchResult(std::vector<SweepJob> jobs, std::vector<RunResult> runs,
+                         std::size_t cached)
+    : jobs_(std::move(jobs)), runs_(std::move(runs)), cached_(cached) {
+  // Group the flat results by grid point, first-seen order (== grid order,
+  // since expansion emits each point's jobs before the next point's; shard
+  // slices preserve that order and may simply skip points entirely).
+  std::unordered_map<std::size_t, std::size_t> slot_of_point;
   for (const auto& job : jobs_) {
-    auto& p = points_[job.point];
-    if (p.runs.empty()) {
+    const auto [it, fresh] = slot_of_point.try_emplace(job.point, points_.size());
+    if (fresh) {
+      auto& p = points_.emplace_back();
       p.protocol = job.protocol;
       p.node_count = job.node_count;
       p.zone_radius_m = job.zone_radius_m;
       p.variant = job.variant;
     }
-    p.runs.push_back(runs_[job.index]);
+    points_[it->second].runs.push_back(runs_[job.index]);
   }
   for (auto& p : points_) p.stats = aggregate(p.runs);
 }
@@ -43,19 +47,54 @@ const PointResult& BatchResult::point(ProtocolKind protocol, std::size_t node_co
 
 BatchResult BatchRunner::run(const SweepSpec& spec) const {
   auto jobs = spec.expand();
+  if (options_.shard_count != 1) {
+    jobs = filter_shard(std::move(jobs), options_.shard_index, options_.shard_count);
+  } else if (options_.shard_index != 0) {
+    throw std::invalid_argument{"BatchRunner: shard_index requires shard_count > 1"};
+  }
   std::vector<RunResult> runs(jobs.size());
 
+  // Resolve against the store first: cache hits fill their expansion-order
+  // slots directly, and only the misses go to the worker pool.  The final
+  // runs vector is therefore identical however the hit/miss split falls —
+  // run_experiment is a pure function of the config and the serialization
+  // round-trips bit-exactly, so a replayed result IS the fresh result.
+  std::vector<std::string> canonical(jobs.size());
+  std::vector<std::string> keys(jobs.size());
+  if (options_.store != nullptr) {
+    for (const auto& job : jobs) {
+      canonical[job.index] = store::canonical_config_json(job.config);
+      keys[job.index] = store::key_for_canonical(canonical[job.index]);
+    }
+  }
+  std::vector<std::size_t> pending;
+  pending.reserve(jobs.size());
+  std::size_t cached = 0;
+  for (const auto& job : jobs) {
+    if (options_.store != nullptr && options_.use_cache) {
+      if (auto hit = options_.store->find(keys[job.index], canonical[job.index])) {
+        runs[job.index] = *std::move(hit);
+        ++cached;
+        continue;
+      }
+    }
+    pending.push_back(job.index);
+  }
+
   const std::size_t workers =
-      std::min(options_.jobs == 0 ? default_jobs() : options_.jobs, jobs.size());
+      std::min(options_.jobs == 0 ? default_jobs() : options_.jobs, pending.size());
 
   std::mutex mu;  // guards on_result + done counter
   std::size_t done = 0;
   const auto execute = [&](const SweepJob& job) {
     auto result = run_experiment(job.config);
+    if (options_.store != nullptr) {
+      options_.store->put(keys[job.index], canonical[job.index], result);
+    }
     if (options_.on_result) {
       const std::lock_guard<std::mutex> lock{mu};
       runs[job.index] = std::move(result);
-      options_.on_result(job, runs[job.index], ++done, jobs.size());
+      options_.on_result(job, runs[job.index], ++done, pending.size());
     } else {
       // Distinct slots; no lock needed for the write itself.
       runs[job.index] = std::move(result);
@@ -63,8 +102,8 @@ BatchResult BatchRunner::run(const SweepSpec& spec) const {
   };
 
   if (workers <= 1) {
-    for (const auto& job : jobs) execute(job);
-    return BatchResult{std::move(jobs), std::move(runs)};
+    for (const auto i : pending) execute(jobs[i]);
+    return BatchResult{std::move(jobs), std::move(runs), cached};
   }
 
   std::atomic<std::size_t> next{0};
@@ -76,9 +115,9 @@ BatchResult BatchRunner::run(const SweepSpec& spec) const {
     pool.emplace_back([&] {
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= jobs.size()) return;
+        if (i >= pending.size()) return;
         try {
-          execute(jobs[i]);
+          execute(jobs[pending[i]]);
         } catch (...) {
           const std::lock_guard<std::mutex> lock{error_mu};
           if (!first_error) first_error = std::current_exception();
@@ -88,14 +127,26 @@ BatchResult BatchRunner::run(const SweepSpec& spec) const {
   }
   for (auto& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
-  return BatchResult{std::move(jobs), std::move(runs)};
+  return BatchResult{std::move(jobs), std::move(runs), cached};
+}
+
+std::size_t parse_jobs_env(const char* value) {
+  if (value == nullptr || *value == '\0') return 0;
+  // Validate the whole string before clamping, so "2048x" is rejected like
+  // "4x" rather than sneaking through once the clamp saturates.
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return 0;
+  }
+  std::size_t v = 0;
+  for (const char* p = value; *p != '\0'; ++p) {
+    v = v * 10 + static_cast<std::size_t>(*p - '0');
+    if (v > kMaxJobs) return kMaxJobs;  // clamp absurd values (and stop any overflow)
+  }
+  return v;
 }
 
 std::size_t default_jobs() {
-  if (const char* env = std::getenv("SPMS_JOBS")) {
-    const long v = std::atol(env);
-    if (v > 0) return static_cast<std::size_t>(v);
-  }
+  if (const std::size_t v = parse_jobs_env(std::getenv("SPMS_JOBS")); v > 0) return v;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }

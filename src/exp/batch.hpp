@@ -19,6 +19,10 @@
 
 namespace spms::exp {
 
+namespace store {
+class ResultStore;
+}
+
 /// Results of one grid point: the per-seed runs (in seed order) plus their
 /// cross-seed dispersion statistics.
 struct PointResult {
@@ -33,14 +37,20 @@ struct PointResult {
 /// Everything a batch produced.
 class BatchResult {
  public:
-  BatchResult(std::vector<SweepJob> jobs, std::vector<RunResult> runs);
+  BatchResult(std::vector<SweepJob> jobs, std::vector<RunResult> runs, std::size_t cached = 0);
 
   /// Per-job results, expansion order (parallel to `jobs()`).
   [[nodiscard]] const std::vector<RunResult>& runs() const { return runs_; }
   [[nodiscard]] const std::vector<SweepJob>& jobs() const { return jobs_; }
 
-  /// Per-grid-point results, grid order.
+  /// Per-grid-point results, grid order.  A sharded batch carries only the
+  /// points its job slice touched.
   [[nodiscard]] const std::vector<PointResult>& points() const { return points_; }
+
+  /// How many of runs() were resolved from the result store without
+  /// simulating, and how many were actually executed this invocation.
+  [[nodiscard]] std::size_t cached() const { return cached_; }
+  [[nodiscard]] std::size_t executed() const { return runs_.size() - cached_; }
 
   /// Looks up one grid point by its axis coordinates.  Throws
   /// std::out_of_range if the batch holds no such point.
@@ -52,13 +62,34 @@ class BatchResult {
   std::vector<SweepJob> jobs_;
   std::vector<RunResult> runs_;
   std::vector<PointResult> points_;
+  std::size_t cached_ = 0;
 };
 
 /// Engine knobs.
 struct BatchOptions {
   /// Worker threads; 0 means one per hardware thread.  1 runs inline.
   std::size_t jobs = 1;
-  /// Invoked after each job completes (serialized; any thread's jobs).
+
+  /// Persistent result store (not owned; must outlive the run).  Before
+  /// executing anything, the runner resolves every job against the store by
+  /// config key and simulates only the misses; every fresh result is written
+  /// through.  Cache hits land in the same expansion-order slots a live run
+  /// would fill, so warm output is byte-identical to cold at any `jobs`.
+  store::ResultStore* store = nullptr;
+
+  /// When false, store lookups are skipped (every job re-executes) but
+  /// results are still written through — a forced refresh of the store.
+  bool use_cache = true;
+
+  /// Deterministic sweep sharding (see filter_shard): this invocation runs
+  /// only the jobs with index % shard_count == shard_index.  Defaults to
+  /// the whole sweep.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+
+  /// Invoked after each *executed* job completes (serialized; any thread's
+  /// jobs).  `total` counts the executed jobs only — cache hits never pass
+  /// through, so `done/total` is real progress, not replayed history.
   std::function<void(const SweepJob&, const RunResult&, std::size_t done, std::size_t total)>
       on_result;
 };
@@ -76,8 +107,18 @@ class BatchRunner {
   BatchOptions options_;
 };
 
-/// Worker count used when the caller passes 0: SPMS_JOBS env var if set,
-/// else std::thread::hardware_concurrency (min 1).
+/// Worker count used when the caller passes 0: SPMS_JOBS env var if it
+/// parses to something sane, else std::thread::hardware_concurrency (min 1).
 [[nodiscard]] std::size_t default_jobs();
+
+/// Upper bound a worker-count override is clamped to; far above any machine
+/// this runs on, low enough that a stray "999999999" cannot fork-bomb it.
+inline constexpr std::size_t kMaxJobs = 1024;
+
+/// Parses an SPMS_JOBS-style override.  Accepts plain decimal digits only;
+/// anything else — null, empty, signs, spaces, hex, trailing junk — and the
+/// value zero yield 0, meaning "no valid override, use the hardware
+/// default".  Values above kMaxJobs clamp to kMaxJobs.
+[[nodiscard]] std::size_t parse_jobs_env(const char* value);
 
 }  // namespace spms::exp

@@ -1,0 +1,454 @@
+#include "exp/store/canonical.hpp"
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <system_error>
+
+namespace spms::exp::store {
+
+namespace {
+
+// --- canonical value formatting ---------------------------------------------
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  // Shortest round-trip form: canonical (one spelling per value) and
+  // bit-exact through from_chars on the way back in.
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+/// Emits `"key":value` members in call order; the callers fix the order.
+class ObjWriter {
+ public:
+  void str(std::string_view key, std::string_view v) { member(key); append_escaped(out_, v); }
+  void b(std::string_view key, bool v) { member(key); out_ += v ? "true" : "false"; }
+  void u64(std::string_view key, std::uint64_t v) { member(key); out_ += std::to_string(v); }
+  void i64(std::string_view key, std::int64_t v) { member(key); out_ += std::to_string(v); }
+  void d(std::string_view key, double v) { member(key); append_double(out_, v); }
+
+  [[nodiscard]] std::string finish() && {
+    out_ += '}';
+    return std::move(out_);
+  }
+
+ private:
+  void member(std::string_view key) {
+    out_ += first_ ? '{' : ',';
+    first_ = false;
+    append_escaped(out_, key);
+    out_ += ':';
+  }
+
+  std::string out_;
+  bool first_ = true;
+};
+
+constexpr const char* pattern_name(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kAllToAll: return "all-to-all";
+    case TrafficPattern::kCluster: return "cluster";
+    case TrafficPattern::kSink: return "sink";
+  }
+  return "?";
+}
+
+constexpr const char* deployment_name(Deployment d) {
+  switch (d) {
+    case Deployment::kGrid: return "grid";
+    case Deployment::kUniformRandom: return "uniform-random";
+  }
+  return "?";
+}
+
+// --- minimal JSON scanning ---------------------------------------------------
+//
+// The store only ever reads what it wrote: flat objects of string / number /
+// bool members, plus one record level whose "config" / "result" values are
+// such objects.  The scanner below covers exactly that; anything else is a
+// parse failure, which the store treats as a corrupt line.
+
+struct Cursor {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool eof() const { return pos >= s.size(); }
+  [[nodiscard]] char peek() const { return s[pos]; }
+  void skip_ws() {
+    while (!eof() && (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\r' || s[pos] == '\n')) ++pos;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (eof() || s[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+};
+
+/// Parses a JSON string literal at the cursor into its unescaped value.
+bool parse_string(Cursor& c, std::string& out) {
+  if (!c.consume('"')) return false;
+  out.clear();
+  while (!c.eof()) {
+    const char ch = c.s[c.pos++];
+    if (ch == '"') return true;
+    if (ch != '\\') {
+      out += ch;
+      continue;
+    }
+    if (c.eof()) return false;
+    const char esc = c.s[c.pos++];
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (c.pos + 4 > c.s.size()) return false;
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = c.s[c.pos++];
+          v <<= 4;
+          if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+          else return false;
+        }
+        if (v > 0xFF) return false;  // the writer only escapes control bytes
+        out += static_cast<char>(v);
+        break;
+      }
+      default: return false;
+    }
+  }
+  return false;  // unterminated
+}
+
+/// Returns the raw text of the next value (string, balanced object, or bare
+/// primitive token) without interpreting it.
+bool scan_raw_value(Cursor& c, std::string_view& raw) {
+  c.skip_ws();
+  if (c.eof()) return false;
+  const std::size_t start = c.pos;
+  if (c.peek() == '"') {
+    std::string ignored;
+    if (!parse_string(c, ignored)) return false;
+  } else if (c.peek() == '{') {
+    int depth = 0;
+    bool in_string = false;
+    while (!c.eof()) {
+      const char ch = c.s[c.pos++];
+      if (in_string) {
+        if (ch == '\\') {
+          if (c.eof()) return false;
+          ++c.pos;
+        } else if (ch == '"') {
+          in_string = false;
+        }
+      } else if (ch == '"') {
+        in_string = true;
+      } else if (ch == '{') {
+        ++depth;
+      } else if (ch == '}') {
+        if (--depth == 0) break;
+      }
+    }
+    if (depth != 0) return false;
+  } else {
+    while (!c.eof()) {
+      const char ch = c.peek();
+      if (ch == ',' || ch == '}' || ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n') break;
+      ++c.pos;
+    }
+    if (c.pos == start) return false;
+  }
+  raw = c.s.substr(start, c.pos - start);
+  return true;
+}
+
+/// Walks the members of one object, invoking `member(key, raw_value)`.
+/// Returns false on any syntax error.
+template <typename Fn>
+bool scan_object(std::string_view json, Fn&& member) {
+  Cursor c{json};
+  if (!c.consume('{')) return false;
+  c.skip_ws();
+  if (c.consume('}')) {
+    c.skip_ws();
+    return c.eof();
+  }
+  for (;;) {
+    std::string key;
+    if (!parse_string(c, key)) return false;
+    if (!c.consume(':')) return false;
+    std::string_view raw;
+    if (!scan_raw_value(c, raw)) return false;
+    if (!member(key, raw)) return false;
+    if (c.consume(',')) continue;
+    if (!c.consume('}')) return false;
+    c.skip_ws();
+    return c.eof();
+  }
+}
+
+bool parse_raw_string(std::string_view raw, std::string& out) {
+  Cursor c{raw};
+  if (!parse_string(c, out)) return false;
+  c.skip_ws();
+  return c.eof();
+}
+
+bool parse_raw_bool(std::string_view raw, bool& out) {
+  if (raw == "true") out = true;
+  else if (raw == "false") out = false;
+  else return false;
+  return true;
+}
+
+template <typename Int>
+bool parse_raw_int(std::string_view raw, Int& out) {
+  const auto res = std::from_chars(raw.data(), raw.data() + raw.size(), out);
+  return res.ec == std::errc{} && res.ptr == raw.data() + raw.size();
+}
+
+bool parse_raw_double(std::string_view raw, double& out) {
+  const auto res = std::from_chars(raw.data(), raw.data() + raw.size(), out);
+  return res.ec == std::errc{} && res.ptr == raw.data() + raw.size();
+}
+
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t h = 14695981039346656037ULL) {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string canonical_config_json(const ExperimentConfig& c) {
+  ObjWriter w;
+  w.str("label", c.label);
+  w.str("protocol", to_string(c.protocol));
+  w.str("pattern", pattern_name(c.pattern));
+  w.str("deployment", deployment_name(c.deployment));
+  w.u64("node_count", c.node_count);
+  w.d("grid_pitch_m", c.grid_pitch_m);
+  w.d("zone_radius_m", c.zone_radius_m);
+  w.b("mac.carrier_sense", c.mac.carrier_sense);
+  w.b("mac.infinite_parallelism", c.mac.infinite_parallelism);
+  w.d("mac.contention_g_ms", c.mac.contention_g_ms);
+  w.i64("mac.slot_time_ns", c.mac.slot_time.count_nanos());
+  w.i64("mac.num_slots", c.mac.num_slots);
+  w.i64("mac.t_tx_per_byte_ns", c.mac.t_tx_per_byte.count_nanos());
+  w.i64("mac.t_proc_ns", c.mac.t_proc.count_nanos());
+  w.d("energy.rx_power_mw", c.energy.rx_power_mw);
+  w.b("energy.charge_overhearing", c.energy.charge_overhearing);
+  w.u64("proto.adv_bytes", c.proto.adv_bytes);
+  w.u64("proto.req_bytes", c.proto.req_bytes);
+  w.u64("proto.data_bytes", c.proto.data_bytes);
+  w.i64("proto.tout_adv_ns", c.proto.tout_adv.count_nanos());
+  w.i64("proto.tout_dat_ns", c.proto.tout_dat.count_nanos());
+  w.i64("proto.max_retries", c.proto.max_retries);
+  w.d("proto.retry_backoff", c.proto.retry_backoff);
+  w.i64("proto.max_backoff_exp", c.proto.max_backoff_exp);
+  w.i64("proto.service_guard_ns", c.proto.service_guard.count_nanos());
+  w.i64("proto.timer_defer_limit", c.proto.timer_defer_limit);
+  w.b("spms_ext.relay_caching", c.spms_ext.relay_caching);
+  w.u64("spms_ext.num_scones", c.spms_ext.num_scones);
+  w.u64("spms_ext.cross_zone_ttl", c.spms_ext.cross_zone_ttl);
+  w.i64("traffic.packets_per_node", c.traffic.packets_per_node);
+  w.i64("traffic.mean_interarrival_ns", c.traffic.mean_interarrival.count_nanos());
+  w.u64("dbf.header_bytes", c.dbf.header_bytes);
+  w.u64("dbf.bytes_per_entry", c.dbf.bytes_per_entry);
+  w.b("dbf.charge_energy", c.dbf.charge_energy);
+  w.u64("dbf.max_rounds", c.dbf.max_rounds);
+  w.b("inject_failures", c.inject_failures);
+  w.i64("failure.mtbf_ns", c.failure.mean_time_between_failures.count_nanos());
+  w.i64("failure.repair_min_ns", c.failure.repair_min.count_nanos());
+  w.i64("failure.repair_max_ns", c.failure.repair_max.count_nanos());
+  w.b("mobility", c.mobility);
+  w.i64("mobility.epoch_interval_ns", c.mobility_params.epoch_interval.count_nanos());
+  w.d("mobility.move_fraction", c.mobility_params.move_fraction);
+  w.d("mobility.field_side_m", c.mobility_params.field_side_m);
+  w.d("cluster_p_other", c.cluster_p_other);
+  w.u64("seed", c.seed);
+  w.i64("activity_horizon_ns", c.activity_horizon.count_nanos());
+  w.u64("max_events", c.max_events);
+  return std::move(w).finish();
+}
+
+std::string key_for_canonical(std::string_view canonical_config) {
+  const std::string salt = "spms-exp-store/v" + std::to_string(kSchemaVersion) + "\n";
+  const std::uint64_t h = fnv1a(canonical_config, fnv1a(salt));
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return std::string{buf};
+}
+
+std::string config_key(const ExperimentConfig& config) {
+  return key_for_canonical(canonical_config_json(config));
+}
+
+std::string result_to_json(const RunResult& r) {
+  ObjWriter w;
+  w.str("protocol", r.protocol);
+  w.str("label", r.label);
+  w.u64("nodes", r.nodes);
+  w.d("zone_radius_m", r.zone_radius_m);
+  w.u64("items_published", r.items_published);
+  w.u64("expected_deliveries", r.expected_deliveries);
+  w.u64("deliveries", r.deliveries);
+  w.d("delivery_ratio", r.delivery_ratio);
+  w.d("mean_delay_ms", r.mean_delay_ms);
+  w.d("p95_delay_ms", r.p95_delay_ms);
+  w.d("max_delay_ms", r.max_delay_ms);
+  w.d("energy.protocol_tx_uj", r.energy.protocol_tx_uj);
+  w.d("energy.protocol_rx_uj", r.energy.protocol_rx_uj);
+  w.d("energy.routing_tx_uj", r.energy.routing_tx_uj);
+  w.d("energy.routing_rx_uj", r.energy.routing_rx_uj);
+  w.d("energy_per_item_uj", r.energy_per_item_uj);
+  w.d("protocol_energy_per_item_uj", r.protocol_energy_per_item_uj);
+  w.u64("net.tx_adv", r.net_counters.tx_adv);
+  w.u64("net.tx_req", r.net_counters.tx_req);
+  w.u64("net.tx_data", r.net_counters.tx_data);
+  w.u64("net.tx_route", r.net_counters.tx_route);
+  w.u64("net.tx_bytes", r.net_counters.tx_bytes);
+  w.u64("net.deliveries", r.net_counters.deliveries);
+  w.u64("net.dropped_sender_down", r.net_counters.dropped_sender_down);
+  w.u64("net.dropped_out_of_range", r.net_counters.dropped_out_of_range);
+  w.u64("net.dropped_receiver_down", r.net_counters.dropped_receiver_down);
+  w.u64("dbf.rounds", r.dbf_total.rounds);
+  w.u64("dbf.messages", r.dbf_total.messages);
+  w.u64("dbf.message_bytes", r.dbf_total.message_bytes);
+  w.d("dbf.energy_uj", r.dbf_total.energy_uj);
+  w.b("dbf.converged", r.dbf_total.converged);
+  w.u64("failures_injected", r.failures_injected);
+  w.u64("mobility_epochs", r.mobility_epochs);
+  w.u64("given_up", r.given_up);
+  w.d("sim_time_ms", r.sim_time_ms);
+  w.u64("events_executed", r.events_executed);
+  w.b("event_limit_hit", r.event_limit_hit);
+  return std::move(w).finish();
+}
+
+std::optional<RunResult> result_from_json(std::string_view json) {
+  RunResult r;
+  const bool ok = scan_object(json, [&](const std::string& key, std::string_view raw) {
+    if (key == "protocol") return parse_raw_string(raw, r.protocol);
+    if (key == "label") return parse_raw_string(raw, r.label);
+    if (key == "nodes") return parse_raw_int(raw, r.nodes);
+    if (key == "zone_radius_m") return parse_raw_double(raw, r.zone_radius_m);
+    if (key == "items_published") return parse_raw_int(raw, r.items_published);
+    if (key == "expected_deliveries") return parse_raw_int(raw, r.expected_deliveries);
+    if (key == "deliveries") return parse_raw_int(raw, r.deliveries);
+    if (key == "delivery_ratio") return parse_raw_double(raw, r.delivery_ratio);
+    if (key == "mean_delay_ms") return parse_raw_double(raw, r.mean_delay_ms);
+    if (key == "p95_delay_ms") return parse_raw_double(raw, r.p95_delay_ms);
+    if (key == "max_delay_ms") return parse_raw_double(raw, r.max_delay_ms);
+    if (key == "energy.protocol_tx_uj") return parse_raw_double(raw, r.energy.protocol_tx_uj);
+    if (key == "energy.protocol_rx_uj") return parse_raw_double(raw, r.energy.protocol_rx_uj);
+    if (key == "energy.routing_tx_uj") return parse_raw_double(raw, r.energy.routing_tx_uj);
+    if (key == "energy.routing_rx_uj") return parse_raw_double(raw, r.energy.routing_rx_uj);
+    if (key == "energy_per_item_uj") return parse_raw_double(raw, r.energy_per_item_uj);
+    if (key == "protocol_energy_per_item_uj")
+      return parse_raw_double(raw, r.protocol_energy_per_item_uj);
+    if (key == "net.tx_adv") return parse_raw_int(raw, r.net_counters.tx_adv);
+    if (key == "net.tx_req") return parse_raw_int(raw, r.net_counters.tx_req);
+    if (key == "net.tx_data") return parse_raw_int(raw, r.net_counters.tx_data);
+    if (key == "net.tx_route") return parse_raw_int(raw, r.net_counters.tx_route);
+    if (key == "net.tx_bytes") return parse_raw_int(raw, r.net_counters.tx_bytes);
+    if (key == "net.deliveries") return parse_raw_int(raw, r.net_counters.deliveries);
+    if (key == "net.dropped_sender_down")
+      return parse_raw_int(raw, r.net_counters.dropped_sender_down);
+    if (key == "net.dropped_out_of_range")
+      return parse_raw_int(raw, r.net_counters.dropped_out_of_range);
+    if (key == "net.dropped_receiver_down")
+      return parse_raw_int(raw, r.net_counters.dropped_receiver_down);
+    if (key == "dbf.rounds") return parse_raw_int(raw, r.dbf_total.rounds);
+    if (key == "dbf.messages") return parse_raw_int(raw, r.dbf_total.messages);
+    if (key == "dbf.message_bytes") return parse_raw_int(raw, r.dbf_total.message_bytes);
+    if (key == "dbf.energy_uj") return parse_raw_double(raw, r.dbf_total.energy_uj);
+    if (key == "dbf.converged") return parse_raw_bool(raw, r.dbf_total.converged);
+    if (key == "failures_injected") return parse_raw_int(raw, r.failures_injected);
+    if (key == "mobility_epochs") return parse_raw_int(raw, r.mobility_epochs);
+    if (key == "given_up") return parse_raw_int(raw, r.given_up);
+    if (key == "sim_time_ms") return parse_raw_double(raw, r.sim_time_ms);
+    if (key == "events_executed") return parse_raw_int(raw, r.events_executed);
+    if (key == "event_limit_hit") return parse_raw_bool(raw, r.event_limit_hit);
+    return true;  // unknown member: tolerated (forward compatibility)
+  });
+  if (!ok) return std::nullopt;
+  return r;
+}
+
+std::optional<RawRecord> parse_record_line(std::string_view line) {
+  RawRecord rec;
+  bool have_schema = false, have_key = false, have_config = false, have_result = false;
+  const bool ok = scan_object(line, [&](const std::string& key, std::string_view raw) {
+    if (key == "schema") {
+      have_schema = true;
+      return parse_raw_int(raw, rec.schema);
+    }
+    if (key == "key") {
+      have_key = true;
+      return parse_raw_string(raw, rec.key);
+    }
+    if (key == "config") {
+      have_config = true;
+      if (raw.empty() || raw.front() != '{') return false;
+      rec.config_json.assign(raw);
+      return true;
+    }
+    if (key == "result") {
+      have_result = true;
+      if (raw.empty() || raw.front() != '{') return false;
+      rec.result_json.assign(raw);
+      return true;
+    }
+    return true;
+  });
+  if (!ok || !have_schema || !have_key || !have_config || !have_result) return std::nullopt;
+  return rec;
+}
+
+std::string make_record_line(std::string_view key, std::string_view canonical_config,
+                             std::string_view result_json) {
+  std::string line = "{\"schema\":" + std::to_string(kSchemaVersion) + ",\"key\":";
+  append_escaped(line, key);
+  line += ",\"config\":";
+  line += canonical_config;
+  line += ",\"result\":";
+  line += result_json;
+  line += '}';
+  return line;
+}
+
+}  // namespace spms::exp::store

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "exp/config.hpp"
+#include "exp/runner.hpp"
+
+/// \file canonical.hpp
+/// Canonical (stable, versioned) serialization of ExperimentConfig and
+/// RunResult for the persistent result store.
+///
+/// A run is a pure function of its ExperimentConfig (EXPERIMENTS.md's
+/// determinism contract), so a content hash of the canonical config bytes
+/// identifies its result forever.  Canonical means: every field, fixed
+/// declaration order, fixed key names, durations as integer nanoseconds,
+/// doubles in shortest round-trip form — two equal configs always produce
+/// byte-identical JSON, and a RunResult survives a JSON round trip
+/// bit-exactly (the warm-vs-cold byte-identity guarantee rests on this).
+
+namespace spms::exp::store {
+
+/// Bump whenever the canonical serialization changes shape or meaning, or
+/// whenever a simulator change alters results for an unchanged config.
+/// Every config key changes with it, so old store entries simply stop
+/// matching — cache invalidation by schema version.
+inline constexpr int kSchemaVersion = 1;
+
+/// Stable field-ordered JSON object describing `config` completely.
+[[nodiscard]] std::string canonical_config_json(const ExperimentConfig& config);
+
+/// Content hash (64-bit FNV-1a over schema version + canonical bytes) as a
+/// 16-digit lower-case hex string.  The store key of the config's result.
+[[nodiscard]] std::string config_key(const ExperimentConfig& config);
+
+/// Same hash over an already-canonicalized config (avoids re-serializing;
+/// also used by the loader to validate stored keys against stored configs).
+[[nodiscard]] std::string key_for_canonical(std::string_view canonical_config);
+
+/// Stable field-ordered JSON object holding every RunResult field.
+[[nodiscard]] std::string result_to_json(const RunResult& result);
+
+/// Parses result_to_json output.  Returns nullopt on malformed input
+/// (corruption tolerance: the caller skips the record).  Doubles recover
+/// bit-exactly; absent fields keep their defaults.
+[[nodiscard]] std::optional<RunResult> result_from_json(std::string_view json);
+
+/// One store record as parsed off a JSONL line (schema/key/raw config
+/// object/raw result object).  Exposed for the store and its tests.
+struct RawRecord {
+  long long schema = 0;
+  std::string key;
+  std::string config_json;
+  std::string result_json;
+};
+
+/// Parses one `{"schema":..,"key":..,"config":{..},"result":{..}}` line.
+/// Returns nullopt on any syntax error or missing member.
+[[nodiscard]] std::optional<RawRecord> parse_record_line(std::string_view line);
+
+/// Assembles the JSONL line `put` appends (no trailing newline).
+[[nodiscard]] std::string make_record_line(std::string_view key,
+                                           std::string_view canonical_config,
+                                           std::string_view result_json);
+
+}  // namespace spms::exp::store

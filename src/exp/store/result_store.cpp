@@ -1,0 +1,149 @@
+#include "exp/store/result_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace spms::exp::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kResultsFile = "results.jsonl";
+
+std::vector<fs::path> jsonl_files(const fs::path& dir) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator{dir}) {
+    if (entry.is_regular_file() && entry.path().extension() == ".jsonl") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+ResultStore::ResultStore(fs::path dir) : dir_(std::move(dir)) {
+  fs::create_directories(dir_);
+}
+
+void ResultStore::load() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  records_.clear();
+  corrupt_ = read_disk_locked(records_);
+}
+
+std::size_t ResultStore::read_disk_locked(std::map<std::string, Record>& into) const {
+  std::size_t corrupt = 0;
+  for (const auto& file : jsonl_files(dir_)) {
+    std::ifstream in{file};
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      const auto rec = parse_record_line(line);
+      if (!rec) {
+        ++corrupt;
+        continue;
+      }
+      if (rec->schema != kSchemaVersion) continue;  // foreign schema: invisible, not corrupt
+      if (key_for_canonical(rec->config_json) != rec->key) {
+        ++corrupt;  // config bytes and key disagree: bit rot or a hand edit
+        continue;
+      }
+      auto result = result_from_json(rec->result_json);
+      if (!result) {
+        ++corrupt;
+        continue;
+      }
+      into.insert_or_assign(rec->key, Record{std::move(rec->config_json), *std::move(result)});
+    }
+  }
+  return corrupt;
+}
+
+std::optional<RunResult> ResultStore::find(const std::string& key,
+                                           std::string_view canonical_config) const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  const auto it = records_.find(key);
+  if (it == records_.end() || it->second.config != canonical_config) return std::nullopt;
+  return it->second.result;
+}
+
+void ResultStore::put(const std::string& key, std::string canonical_config,
+                      const RunResult& result) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  const auto [it, inserted] =
+      records_.insert_or_assign(key, Record{std::move(canonical_config), result});
+  static_cast<void>(inserted);
+  append_line_locked(key, it->second);
+}
+
+std::size_t ResultStore::size() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return records_.size();
+}
+
+std::size_t ResultStore::corrupt_lines() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return corrupt_;
+}
+
+std::size_t ResultStore::merge_from(const ResultStore& other) {
+  if (&other == this) return 0;
+  const std::scoped_lock lock{mu_, other.mu_};
+  std::size_t added = 0;
+  for (const auto& [key, rec] : other.records_) {
+    const auto [it, inserted] = records_.try_emplace(key, rec);
+    static_cast<void>(it);
+    if (!inserted) continue;
+    append_line_locked(key, rec);
+    ++added;
+  }
+  return added;
+}
+
+void ResultStore::compact() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  out_.close();
+  // Fold in whatever is on disk but not in memory, so compacting a store
+  // that was never load()ed (or was written to by another process) can only
+  // ever add records, never erase them.  Memory wins ties: it is newest.
+  std::map<std::string, Record> all;
+  read_disk_locked(all);
+  for (const auto& [key, rec] : records_) all.insert_or_assign(key, rec);
+  records_ = std::move(all);
+  const fs::path tmp = dir_ / "results.jsonl.tmp";
+  {
+    std::ofstream out{tmp, std::ios::trunc};
+    for (const auto& [key, rec] : records_) {
+      out << make_record_line(key, rec.config, result_to_json(rec.result)) << '\n';
+    }
+    out.flush();
+    if (!out) throw std::runtime_error{"ResultStore: cannot write " + tmp.string()};
+  }
+  // Atomically replace the main file first; only then drop the others.  A
+  // crash anywhere in between leaves every record reachable (at worst both
+  // the compacted file and a superseded sibling, which load() tolerates).
+  fs::rename(tmp, dir_ / kResultsFile);
+  for (const auto& file : jsonl_files(dir_)) {
+    if (file.filename() != kResultsFile) fs::remove(file);
+  }
+}
+
+void ResultStore::append_line_locked(const std::string& key, const Record& rec) {
+  if (!out_.is_open()) {
+    out_.open(dir_ / kResultsFile, std::ios::app);
+    if (!out_) throw std::runtime_error{"ResultStore: cannot append to " +
+                                        (dir_ / kResultsFile).string()};
+  }
+  out_ << make_record_line(key, rec.config, result_to_json(rec.result)) << '\n' << std::flush;
+  if (!out_) {
+    // A silent no-op here would break the resume promise (the caller thinks
+    // the result is durable); fail loudly instead — disk full, quota, …
+    throw std::runtime_error{"ResultStore: write failed on " + (dir_ / kResultsFile).string()};
+  }
+}
+
+}  // namespace spms::exp::store

@@ -1,6 +1,7 @@
 #include "exp/sweep.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 namespace spms::exp {
 
@@ -68,6 +69,7 @@ std::vector<SweepJob> SweepSpec::expand() const {
             job.config.node_count = nodes;
             job.config.zone_radius_m = radius;
             if (variant.apply) variant.apply(job.config);
+            if (max_events_override != 0) job.config.max_events = max_events_override;
             job.config.seed = seed;
             job.config.label = job_label(name, job);
             jobs.push_back(std::move(job));
@@ -78,6 +80,22 @@ std::vector<SweepJob> SweepSpec::expand() const {
     }
   }
   return jobs;
+}
+
+std::vector<SweepJob> filter_shard(std::vector<SweepJob> jobs, std::size_t shard_index,
+                                   std::size_t shard_count) {
+  if (shard_count == 0 || shard_index >= shard_count) {
+    throw std::invalid_argument{"filter_shard: require shard_index < shard_count"};
+  }
+  if (shard_count == 1) return jobs;
+  std::vector<SweepJob> out;
+  out.reserve(jobs.size() / shard_count + 1);
+  for (auto& job : jobs) {
+    if (job.index % shard_count != shard_index) continue;
+    job.index = out.size();
+    out.push_back(std::move(job));
+  }
+  return out;
 }
 
 }  // namespace spms::exp

@@ -51,6 +51,11 @@ struct SweepSpec {
   std::vector<ConfigVariant> variants;
   std::vector<std::uint64_t> seeds;
 
+  /// When nonzero, stamped over every job's config.max_events after its
+  /// variant ran (so the operator's runaway guard beats any variant).  The
+  /// CLI's --max-events; part of the config, so it feeds the store key.
+  std::size_t max_events_override = 0;
+
   /// Replaces the seed axis with `count` consecutive seeds starting at
   /// base.seed — the convention shared by the CLI's --seeds and the
   /// benches' SPMS_BENCH_SEEDS.
@@ -68,5 +73,16 @@ struct SweepSpec {
   /// is stamped, so variants may override any other knob.
   [[nodiscard]] std::vector<SweepJob> expand() const;
 };
+
+/// Deterministic shard filter for cross-process / cross-host sweeps: keeps
+/// the jobs whose expansion index is congruent to `shard_index` mod
+/// `shard_count` and renumbers `index` contiguously (`point` and the labels
+/// keep their canonical values, so shard results merge back losslessly).
+/// The round-robin slicing interleaves the seeds of each grid point across
+/// shards, which balances load when some points are much heavier than
+/// others.  Throws std::invalid_argument unless shard_index < shard_count.
+[[nodiscard]] std::vector<SweepJob> filter_shard(std::vector<SweepJob> jobs,
+                                                 std::size_t shard_index,
+                                                 std::size_t shard_count);
 
 }  // namespace spms::exp

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
+#include <string>
 
 #include "exp/scenario_registry.hpp"
 
@@ -179,6 +181,43 @@ TEST(AggregateTest, MatchesHandComputedStatistics) {
   EXPECT_EQ(a.mean_delay_ms.min, 2.0);
   EXPECT_EQ(a.mean_delay_ms.max, 9.0);
   EXPECT_THROW(aggregate({}), std::invalid_argument);
+}
+
+TEST(DefaultJobsTest, ParseJobsEnvRejectsGarbageAndClampsAbsurdValues) {
+  EXPECT_EQ(parse_jobs_env(nullptr), 0u);
+  EXPECT_EQ(parse_jobs_env(""), 0u);
+  EXPECT_EQ(parse_jobs_env("0"), 0u);       // zero workers is never valid
+  EXPECT_EQ(parse_jobs_env("8"), 8u);
+  EXPECT_EQ(parse_jobs_env("1024"), 1024u);
+  EXPECT_EQ(parse_jobs_env("-1"), 0u);      // strtoul would wrap this to 2^64-1
+  EXPECT_EQ(parse_jobs_env("+4"), 0u);
+  EXPECT_EQ(parse_jobs_env(" 4"), 0u);
+  EXPECT_EQ(parse_jobs_env("4 "), 0u);
+  EXPECT_EQ(parse_jobs_env("4x"), 0u);      // strtol-style prefix parsing would take 4
+  EXPECT_EQ(parse_jobs_env("2048x"), 0u);   // garbage past the clamp point is still garbage
+  EXPECT_EQ(parse_jobs_env("abc"), 0u);
+  EXPECT_EQ(parse_jobs_env("1e3"), 0u);
+  EXPECT_EQ(parse_jobs_env("0x10"), 0u);
+  EXPECT_EQ(parse_jobs_env("2048"), kMaxJobs);
+  EXPECT_EQ(parse_jobs_env("99999999999999999999999"), kMaxJobs);  // would overflow u64
+}
+
+TEST(DefaultJobsTest, EnvOverrideIsHonoredAndGarbageFallsBack) {
+  const char* saved = std::getenv("SPMS_JOBS");
+  const std::string saved_value = saved ? saved : "";
+
+  ASSERT_EQ(setenv("SPMS_JOBS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(default_jobs(), 3u);
+  ASSERT_EQ(setenv("SPMS_JOBS", "not-a-number", 1), 0);
+  EXPECT_GE(default_jobs(), 1u);  // falls back to hardware concurrency
+  ASSERT_EQ(setenv("SPMS_JOBS", "0", 1), 0);
+  EXPECT_GE(default_jobs(), 1u);
+
+  if (saved) {
+    setenv("SPMS_JOBS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("SPMS_JOBS");
+  }
 }
 
 TEST(ScenarioRegistryTest, AllScenariosExpandAndCarryMetadata) {

@@ -1,0 +1,69 @@
+#include "exp/scenario_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "exp/runner.hpp"
+#include "exp/store/canonical.hpp"
+
+/// Registry-wide guarantees: every scenario expands to a usable,
+/// duplicate-free job list (distinct labels AND distinct store keys — the
+/// result cache depends on the latter), and each scenario's smallest grid
+/// point actually runs end to end under a tight event budget.
+
+namespace spms::exp {
+namespace {
+
+TEST(RegistryExpansionTest, EveryScenarioExpandsNonEmptyAndDuplicateFree) {
+  for (const auto& info : scenario_registry()) {
+    const auto jobs = info.make().expand();
+    ASSERT_FALSE(jobs.empty()) << info.name;
+    std::set<std::string> labels;
+    std::set<std::string> keys;
+    for (const auto& job : jobs) {
+      labels.insert(job.config.label);
+      keys.insert(store::config_key(job.config));
+    }
+    EXPECT_EQ(labels.size(), jobs.size()) << info.name << ": duplicate job labels";
+    EXPECT_EQ(keys.size(), jobs.size())
+        << info.name << ": duplicate config keys — the result store would collapse cells";
+  }
+}
+
+TEST(RegistrySmokeTest, SmallestGridPointRunsUnderATightEventBudget) {
+  for (const auto& info : scenario_registry()) {
+    auto spec = info.make();
+    // The runaway guard under test doubles as the budget that keeps this
+    // sweep-of-sweeps fast: truncation is fine, crashing is not.
+    spec.max_events_override = 150'000;
+    const auto jobs = spec.expand();
+    const auto smallest = std::min_element(
+        jobs.begin(), jobs.end(), [](const SweepJob& a, const SweepJob& b) {
+          return std::tie(a.node_count, a.zone_radius_m) < std::tie(b.node_count, b.zone_radius_m);
+        });
+    ASSERT_NE(smallest, jobs.end()) << info.name;
+    EXPECT_EQ(smallest->config.max_events, 150'000u) << info.name;
+    const auto r = run_experiment(smallest->config);
+    EXPECT_EQ(r.nodes, smallest->config.node_count) << info.name;
+    EXPECT_GT(r.events_executed, 0u) << info.name;
+    EXPECT_LE(r.events_executed, 150'000u) << info.name;
+  }
+}
+
+TEST(RegistrySmokeTest, MaxEventsOverrideBeatsVariants) {
+  SweepSpec spec;
+  spec.variants = {{"greedy", [](ExperimentConfig& c) { c.max_events = 77; }}};
+  spec.max_events_override = 1234;
+  const auto jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].config.max_events, 1234u);
+  // And without the override the variant's value stands.
+  spec.max_events_override = 0;
+  EXPECT_EQ(spec.expand()[0].config.max_events, 77u);
+}
+
+}  // namespace
+}  // namespace spms::exp

@@ -1,0 +1,486 @@
+#include "exp/store/result_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "exp/batch.hpp"
+#include "exp/store/canonical.hpp"
+
+/// Persistent-store invariants: canonical serialization is stable and
+/// bit-exact, the config key reacts to every knob, the store survives
+/// corruption and composes under merge, and a warm BatchRunner pass
+/// reproduces a cold one byte-identically while executing nothing.
+
+namespace spms::exp::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreTest : public ::testing::Test {
+ protected:
+  /// A fresh empty directory, unique per test and per call, removed on exit.
+  fs::path temp_dir() {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    fs::path dir = fs::path{::testing::TempDir()} / "spms_store" /
+                   (std::string{info->name()} + "_" + std::to_string(dirs_.size()));
+    fs::remove_all(dir);
+    dirs_.push_back(dir);
+    return dir;
+  }
+
+  void TearDown() override {
+    for (const auto& dir : dirs_) fs::remove_all(dir);
+  }
+
+  std::vector<fs::path> dirs_;
+};
+
+RunResult awkward_result() {
+  RunResult r;
+  r.protocol = "SPMS";
+  r.label = "edge \"quotes\"\\back\nslash\tand control \x01 bytes";
+  r.nodes = 169;
+  r.zone_radius_m = 20.0;
+  r.items_published = 338;
+  r.expected_deliveries = 56784;
+  r.deliveries = 56783;
+  r.delivery_ratio = 56783.0 / 56784.0;  // not representable exactly in decimal
+  r.mean_delay_ms = 1.0 / 3.0;
+  r.p95_delay_ms = 0.1;
+  r.max_delay_ms = 1e-308;  // almost-denormal magnitude
+  r.energy.protocol_tx_uj = 1234.5678901234567;
+  r.energy.protocol_rx_uj = 2.2250738585072014e-308;
+  r.energy.routing_tx_uj = 9e18;
+  r.energy.routing_rx_uj = 0.0;
+  r.energy_per_item_uj = 3.3333333333333335;
+  r.protocol_energy_per_item_uj = 0.30000000000000004;
+  r.net_counters.tx_adv = 1;
+  r.net_counters.tx_req = 2;
+  r.net_counters.tx_data = 3;
+  r.net_counters.tx_route = 4;
+  r.net_counters.tx_bytes = 5;
+  r.net_counters.deliveries = 6;
+  r.net_counters.dropped_sender_down = 7;
+  r.net_counters.dropped_out_of_range = 8;
+  r.net_counters.dropped_receiver_down = 9;
+  r.dbf_total.rounds = 10;
+  r.dbf_total.messages = 11;
+  r.dbf_total.message_bytes = 12;
+  r.dbf_total.energy_uj = 0.1 + 0.2;  // the canonical 0.30000000000000004
+  r.dbf_total.converged = true;
+  r.failures_injected = 13;
+  r.mobility_epochs = 14;
+  r.given_up = 15;
+  r.sim_time_ms = 12345.000000000001;
+  r.events_executed = 1'000'000'007;
+  r.event_limit_hit = true;
+  return r;
+}
+
+void expect_bit_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.protocol, b.protocol);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.zone_radius_m, b.zone_radius_m);
+  EXPECT_EQ(a.items_published, b.items_published);
+  EXPECT_EQ(a.expected_deliveries, b.expected_deliveries);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.delivery_ratio, b.delivery_ratio);
+  EXPECT_EQ(a.mean_delay_ms, b.mean_delay_ms);
+  EXPECT_EQ(a.p95_delay_ms, b.p95_delay_ms);
+  EXPECT_EQ(a.max_delay_ms, b.max_delay_ms);
+  EXPECT_EQ(a.energy.protocol_tx_uj, b.energy.protocol_tx_uj);
+  EXPECT_EQ(a.energy.protocol_rx_uj, b.energy.protocol_rx_uj);
+  EXPECT_EQ(a.energy.routing_tx_uj, b.energy.routing_tx_uj);
+  EXPECT_EQ(a.energy.routing_rx_uj, b.energy.routing_rx_uj);
+  EXPECT_EQ(a.energy_per_item_uj, b.energy_per_item_uj);
+  EXPECT_EQ(a.protocol_energy_per_item_uj, b.protocol_energy_per_item_uj);
+  EXPECT_EQ(a.net_counters.tx_adv, b.net_counters.tx_adv);
+  EXPECT_EQ(a.net_counters.tx_req, b.net_counters.tx_req);
+  EXPECT_EQ(a.net_counters.tx_data, b.net_counters.tx_data);
+  EXPECT_EQ(a.net_counters.tx_route, b.net_counters.tx_route);
+  EXPECT_EQ(a.net_counters.tx_bytes, b.net_counters.tx_bytes);
+  EXPECT_EQ(a.net_counters.deliveries, b.net_counters.deliveries);
+  EXPECT_EQ(a.net_counters.dropped_sender_down, b.net_counters.dropped_sender_down);
+  EXPECT_EQ(a.net_counters.dropped_out_of_range, b.net_counters.dropped_out_of_range);
+  EXPECT_EQ(a.net_counters.dropped_receiver_down, b.net_counters.dropped_receiver_down);
+  EXPECT_EQ(a.dbf_total.rounds, b.dbf_total.rounds);
+  EXPECT_EQ(a.dbf_total.messages, b.dbf_total.messages);
+  EXPECT_EQ(a.dbf_total.message_bytes, b.dbf_total.message_bytes);
+  EXPECT_EQ(a.dbf_total.energy_uj, b.dbf_total.energy_uj);
+  EXPECT_EQ(a.dbf_total.converged, b.dbf_total.converged);
+  EXPECT_EQ(a.failures_injected, b.failures_injected);
+  EXPECT_EQ(a.mobility_epochs, b.mobility_epochs);
+  EXPECT_EQ(a.given_up, b.given_up);
+  EXPECT_EQ(a.sim_time_ms, b.sim_time_ms);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.event_limit_hit, b.event_limit_hit);
+}
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.name = "store-test";
+  spec.base.node_count = 16;
+  spec.base.zone_radius_m = 12.0;
+  spec.base.traffic.packets_per_node = 1;
+  spec.protocols = {ProtocolKind::kSpms, ProtocolKind::kSpin};
+  spec.seeds = {1, 2};
+  return spec;
+}
+
+// --- canonical serialization -------------------------------------------------
+
+TEST(CanonicalTest, EqualConfigsSerializeAndHashIdentically) {
+  const ExperimentConfig a, b;
+  EXPECT_EQ(canonical_config_json(a), canonical_config_json(b));
+  EXPECT_EQ(config_key(a), config_key(b));
+  EXPECT_EQ(config_key(a).size(), 16u);
+  EXPECT_EQ(config_key(a), key_for_canonical(canonical_config_json(a)));
+}
+
+TEST(CanonicalTest, KeyReactsToEveryKindOfKnob) {
+  const ExperimentConfig base;
+  const auto mutated_key = [&](auto&& mutate) {
+    ExperimentConfig c = base;
+    mutate(c);
+    return config_key(c);
+  };
+  const std::string k0 = config_key(base);
+  std::set<std::string> keys{k0};
+  keys.insert(mutated_key([](auto& c) { c.seed += 1; }));
+  keys.insert(mutated_key([](auto& c) { c.label = "x"; }));
+  keys.insert(mutated_key([](auto& c) { c.protocol = ProtocolKind::kSpin; }));
+  keys.insert(mutated_key([](auto& c) { c.pattern = TrafficPattern::kCluster; }));
+  keys.insert(mutated_key([](auto& c) { c.deployment = Deployment::kUniformRandom; }));
+  keys.insert(mutated_key([](auto& c) { c.node_count = 170; }));
+  keys.insert(mutated_key([](auto& c) { c.zone_radius_m += 0.5; }));
+  keys.insert(mutated_key([](auto& c) { c.mac.carrier_sense = false; }));
+  keys.insert(mutated_key([](auto& c) { c.mac.num_slots += 1; }));
+  keys.insert(mutated_key([](auto& c) { c.energy.rx_power_mw *= 2; }));
+  keys.insert(mutated_key([](auto& c) { c.proto.tout_dat = sim::Duration::ms(9.0); }));
+  keys.insert(mutated_key([](auto& c) { c.spms_ext.num_scones = 2; }));
+  keys.insert(mutated_key([](auto& c) { c.traffic.packets_per_node += 1; }));
+  keys.insert(mutated_key([](auto& c) { c.dbf.charge_energy = false; }));
+  keys.insert(mutated_key([](auto& c) { c.inject_failures = true; }));
+  keys.insert(mutated_key([](auto& c) { c.failure.repair_max = sim::Duration::ms(16.0); }));
+  keys.insert(mutated_key([](auto& c) { c.mobility = true; }));
+  keys.insert(mutated_key([](auto& c) { c.mobility_params.move_fraction = 0.2; }));
+  keys.insert(mutated_key([](auto& c) { c.cluster_p_other = 0.06; }));
+  keys.insert(mutated_key([](auto& c) { c.activity_horizon = sim::Duration::ms(101.0); }));
+  keys.insert(mutated_key([](auto& c) { c.max_events = 1; }));
+  EXPECT_EQ(keys.size(), 22u) << "some mutation did not change the config key";
+}
+
+TEST(CanonicalTest, ResultRoundTripsBitExactly) {
+  const RunResult original = awkward_result();
+  const std::string json = result_to_json(original);
+  const auto parsed = result_from_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  expect_bit_identical(original, *parsed);
+  // Canonical: re-serializing the parse reproduces the bytes.
+  EXPECT_EQ(result_to_json(*parsed), json);
+}
+
+TEST(CanonicalTest, MalformedResultJsonIsRejected) {
+  const std::string good = result_to_json(awkward_result());
+  EXPECT_FALSE(result_from_json("").has_value());
+  EXPECT_FALSE(result_from_json("{").has_value());
+  EXPECT_FALSE(result_from_json(good.substr(0, good.size() / 2)).has_value());
+  EXPECT_FALSE(result_from_json(good + "x").has_value());
+  EXPECT_FALSE(result_from_json("{\"nodes\":\"not a number\"}").has_value());
+}
+
+TEST(CanonicalTest, RecordLineRoundTrips) {
+  const ExperimentConfig cfg;
+  const std::string canonical = canonical_config_json(cfg);
+  const std::string key = config_key(cfg);
+  const std::string result_json = result_to_json(awkward_result());
+  const auto rec = parse_record_line(make_record_line(key, canonical, result_json));
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->schema, kSchemaVersion);
+  EXPECT_EQ(rec->key, key);
+  EXPECT_EQ(rec->config_json, canonical);
+  EXPECT_EQ(rec->result_json, result_json);
+  EXPECT_FALSE(parse_record_line("not json at all").has_value());
+  EXPECT_FALSE(parse_record_line("{\"schema\":1,\"key\":\"k\"}").has_value());
+}
+
+// --- ResultStore -------------------------------------------------------------
+
+TEST_F(StoreTest, PersistsAndReloads) {
+  const auto dir = temp_dir();
+  ExperimentConfig cfg_a;
+  ExperimentConfig cfg_b;
+  cfg_b.seed = 99;
+  const auto result = awkward_result();
+  {
+    ResultStore store{dir};
+    store.put(config_key(cfg_a), canonical_config_json(cfg_a), result);
+    store.put(config_key(cfg_b), canonical_config_json(cfg_b), result);
+    EXPECT_EQ(store.size(), 2u);
+  }
+  ResultStore reloaded{dir};
+  reloaded.load();
+  EXPECT_EQ(reloaded.size(), 2u);
+  EXPECT_EQ(reloaded.corrupt_lines(), 0u);
+  const auto hit = reloaded.find(config_key(cfg_a), canonical_config_json(cfg_a));
+  ASSERT_TRUE(hit.has_value());
+  expect_bit_identical(result, *hit);
+  // Unknown key and key/config mismatch both read as misses.
+  EXPECT_FALSE(reloaded.find("0000000000000000", canonical_config_json(cfg_a)).has_value());
+  EXPECT_FALSE(reloaded.find(config_key(cfg_a), canonical_config_json(cfg_b)).has_value());
+}
+
+TEST_F(StoreTest, SkipsCorruptAndForeignLinesButKeepsTheRest) {
+  const auto dir = temp_dir();
+  ExperimentConfig cfg;
+  {
+    ResultStore store{dir};
+    store.put(config_key(cfg), canonical_config_json(cfg), awkward_result());
+  }
+  {
+    // Simulate a crash-truncated tail, editor noise, a key/config mismatch,
+    // and a foreign schema version, all appended after the good record.
+    std::ofstream out{dir / "results.jsonl", std::ios::app};
+    out << "{\"schema\":1,\"key\":\"dead\",\"config\":{\"trunca";  // no newline needed
+    out << "\nnot json\n\n";
+    out << make_record_line("beefbeefbeefbeef", canonical_config_json(cfg),
+                            result_to_json(awkward_result()))
+        << "\n";  // key does not hash from config
+    std::string foreign = make_record_line(config_key(cfg), canonical_config_json(cfg),
+                                           result_to_json(awkward_result()));
+    foreign.replace(foreign.find("\"schema\":1"), 10, "\"schema\":0");
+    out << foreign << "\n";
+  }
+  ResultStore store{dir};
+  store.load();
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.corrupt_lines(), 3u);  // truncated + noise + key mismatch; foreign is invisible
+  EXPECT_TRUE(store.find(config_key(cfg), canonical_config_json(cfg)).has_value());
+}
+
+TEST_F(StoreTest, LastCompleteRecordWinsAndCompactDeduplicates) {
+  const auto dir = temp_dir();
+  ExperimentConfig cfg;
+  RunResult first = awkward_result();
+  RunResult second = awkward_result();
+  second.deliveries += 1;
+  {
+    ResultStore store{dir};
+    store.put(config_key(cfg), canonical_config_json(cfg), first);
+    store.put(config_key(cfg), canonical_config_json(cfg), second);
+  }
+  ResultStore store{dir};
+  store.load();
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.find(config_key(cfg), canonical_config_json(cfg))->deliveries,
+            second.deliveries);
+  store.compact();
+  // One file, one line, still the winning record.
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator{dir}) {
+    ++files;
+    EXPECT_EQ(e.path().filename(), "results.jsonl");
+  }
+  EXPECT_EQ(files, 1u);
+  ResultStore compacted{dir};
+  compacted.load();
+  EXPECT_EQ(compacted.size(), 1u);
+  expect_bit_identical(second, *compacted.find(config_key(cfg), canonical_config_json(cfg)));
+}
+
+TEST_F(StoreTest, CompactWithoutLoadPreservesDiskRecords) {
+  const auto dir = temp_dir();
+  ExperimentConfig on_disk;
+  ExperimentConfig in_memory;
+  in_memory.seed = 42;
+  {
+    ResultStore store{dir};
+    store.put(config_key(on_disk), canonical_config_json(on_disk), awkward_result());
+  }
+  // A fresh handle that never load()ed: compact must fold the disk record
+  // in rather than erase it with its (partial) in-memory view.
+  ResultStore store{dir};
+  store.put(config_key(in_memory), canonical_config_json(in_memory), awkward_result());
+  store.compact();
+  ResultStore reloaded{dir};
+  reloaded.load();
+  EXPECT_EQ(reloaded.size(), 2u);
+  EXPECT_TRUE(reloaded.find(config_key(on_disk), canonical_config_json(on_disk)).has_value());
+  EXPECT_TRUE(
+      reloaded.find(config_key(in_memory), canonical_config_json(in_memory)).has_value());
+}
+
+TEST_F(StoreTest, MergeUnionsDisjointAndOverlappingStores) {
+  const auto dir_a = temp_dir();
+  const auto dir_b = temp_dir();
+  ExperimentConfig shared;
+  ExperimentConfig only_b;
+  only_b.seed = 77;
+  ResultStore a{dir_a};
+  a.put(config_key(shared), canonical_config_json(shared), awkward_result());
+  ResultStore b{dir_b};
+  b.put(config_key(shared), canonical_config_json(shared), awkward_result());
+  b.put(config_key(only_b), canonical_config_json(only_b), awkward_result());
+  EXPECT_EQ(a.merge_from(b), 1u);  // the shared record is not duplicated
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.merge_from(a), 0u);  // self-merge is a no-op
+  // The merge reached disk, not just memory.
+  ResultStore reloaded{dir_a};
+  reloaded.load();
+  EXPECT_EQ(reloaded.size(), 2u);
+  EXPECT_TRUE(reloaded.find(config_key(only_b), canonical_config_json(only_b)).has_value());
+}
+
+// --- BatchRunner integration -------------------------------------------------
+
+TEST_F(StoreTest, WarmRunExecutesNothingAndIsBitIdenticalAtAnyJobs) {
+  const auto spec = small_spec();
+  ResultStore store{temp_dir()};
+
+  BatchOptions cold_opts;
+  cold_opts.jobs = 4;
+  cold_opts.store = &store;
+  const auto cold = BatchRunner{cold_opts}.run(spec);
+  EXPECT_EQ(cold.executed(), 4u);
+  EXPECT_EQ(cold.cached(), 0u);
+  EXPECT_EQ(store.size(), 4u);
+
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+    BatchOptions warm_opts;
+    warm_opts.jobs = jobs;
+    warm_opts.store = &store;
+    std::size_t callbacks = 0;
+    warm_opts.on_result = [&](const SweepJob&, const RunResult&, std::size_t, std::size_t) {
+      ++callbacks;
+    };
+    const auto warm = BatchRunner{warm_opts}.run(spec);
+    EXPECT_EQ(warm.executed(), 0u) << "jobs=" << jobs;
+    EXPECT_EQ(warm.cached(), 4u);
+    EXPECT_EQ(callbacks, 0u) << "cache hits must not replay through on_result";
+    ASSERT_EQ(warm.runs().size(), cold.runs().size());
+    for (std::size_t i = 0; i < cold.runs().size(); ++i) {
+      expect_bit_identical(cold.runs()[i], warm.runs()[i]);
+    }
+    // Aggregates are recomputed from bit-identical inputs, so they match too.
+    ASSERT_EQ(warm.points().size(), cold.points().size());
+    for (std::size_t p = 0; p < cold.points().size(); ++p) {
+      EXPECT_EQ(warm.points()[p].stats.mean_delay_ms.mean,
+                cold.points()[p].stats.mean_delay_ms.mean);
+      EXPECT_EQ(warm.points()[p].stats.protocol_energy_per_item_uj.stddev,
+                cold.points()[p].stats.protocol_energy_per_item_uj.stddev);
+    }
+  }
+}
+
+TEST_F(StoreTest, PartialStoreRunsOnlyTheMissingCells) {
+  const auto spec = small_spec();
+  ResultStore store{temp_dir()};
+  const auto jobs = spec.expand();
+  // Pre-populate two of the four cells with genuine results.
+  for (const std::size_t i : {std::size_t{0}, std::size_t{3}}) {
+    store.put(config_key(jobs[i].config), canonical_config_json(jobs[i].config),
+              run_experiment(jobs[i].config));
+  }
+  BatchOptions opts;
+  opts.jobs = 2;
+  opts.store = &store;
+  std::size_t reported_total = 0;
+  opts.on_result = [&](const SweepJob&, const RunResult&, std::size_t, std::size_t total) {
+    reported_total = total;
+  };
+  const auto batch = BatchRunner{opts}.run(spec);
+  EXPECT_EQ(batch.executed(), 2u);
+  EXPECT_EQ(batch.cached(), 2u);
+  EXPECT_EQ(reported_total, 2u) << "on_result totals must count executed jobs only";
+  EXPECT_EQ(store.size(), 4u);
+}
+
+TEST_F(StoreTest, NoCacheReexecutesButStillWritesThrough) {
+  const auto spec = small_spec();
+  ResultStore store{temp_dir()};
+  BatchOptions opts;
+  opts.jobs = 2;
+  opts.store = &store;
+  const auto cold = BatchRunner{opts}.run(spec);
+  opts.use_cache = false;
+  const auto forced = BatchRunner{opts}.run(spec);
+  EXPECT_EQ(forced.executed(), 4u);
+  EXPECT_EQ(forced.cached(), 0u);
+  for (std::size_t i = 0; i < cold.runs().size(); ++i) {
+    expect_bit_identical(cold.runs()[i], forced.runs()[i]);
+  }
+  EXPECT_EQ(store.size(), 4u);
+}
+
+// --- sharding ----------------------------------------------------------------
+
+TEST(ShardTest, FilterShardPartitionsJobsExactly) {
+  SweepSpec spec = small_spec();
+  spec.node_counts = {16, 25};  // 4 points x 2 seeds = 8 jobs
+  const auto all = spec.expand();
+  EXPECT_THROW((void)filter_shard(spec.expand(), 2, 2), std::invalid_argument);
+  EXPECT_THROW((void)filter_shard(spec.expand(), 0, 0), std::invalid_argument);
+  std::set<std::string> seen;
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < 3; ++s) {
+    const auto shard = filter_shard(spec.expand(), s, 3);
+    total += shard.size();
+    for (std::size_t i = 0; i < shard.size(); ++i) {
+      EXPECT_EQ(shard[i].index, i) << "shard indices must be contiguous";
+      seen.insert(shard[i].config.label);  // labels keep canonical coordinates
+    }
+  }
+  EXPECT_EQ(total, all.size());
+  EXPECT_EQ(seen.size(), all.size()) << "shards must partition the sweep";
+}
+
+TEST_F(StoreTest, MergedShardStoresReproduceTheUnshardedRunExactly) {
+  const auto spec = small_spec();
+  const auto unsharded = BatchRunner{{}}.run(spec);
+
+  ResultStore shard0{temp_dir()};
+  ResultStore shard1{temp_dir()};
+  for (std::size_t s = 0; s < 2; ++s) {
+    BatchOptions opts;
+    opts.jobs = 2;
+    opts.store = s == 0 ? &shard0 : &shard1;
+    opts.shard_index = s;
+    opts.shard_count = 2;
+    const auto part = BatchRunner{opts}.run(spec);
+    EXPECT_EQ(part.runs().size(), 2u);
+    EXPECT_EQ(part.executed(), 2u);
+  }
+
+  ResultStore merged{temp_dir()};
+  EXPECT_EQ(merged.merge_from(shard0), 2u);
+  EXPECT_EQ(merged.merge_from(shard1), 2u);
+
+  BatchOptions warm_opts;
+  warm_opts.store = &merged;
+  const auto warm = BatchRunner{warm_opts}.run(spec);
+  EXPECT_EQ(warm.executed(), 0u);
+  EXPECT_EQ(warm.cached(), 4u);
+  ASSERT_EQ(warm.runs().size(), unsharded.runs().size());
+  for (std::size_t i = 0; i < warm.runs().size(); ++i) {
+    expect_bit_identical(unsharded.runs()[i], warm.runs()[i]);
+  }
+}
+
+TEST(ShardTest, ShardedBatchCarriesOnlyTouchedPoints) {
+  SweepSpec spec = small_spec();
+  spec.seeds = {1};  // 2 points x 1 seed: shard 0/2 sees exactly one point
+  BatchOptions opts;
+  opts.shard_count = 2;
+  const auto batch = BatchRunner{opts}.run(spec);
+  ASSERT_EQ(batch.runs().size(), 1u);
+  ASSERT_EQ(batch.points().size(), 1u);
+  EXPECT_EQ(batch.points()[0].protocol, ProtocolKind::kSpms);
+  EXPECT_THROW((void)batch.point(ProtocolKind::kSpin, 16, 12.0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace spms::exp::store
