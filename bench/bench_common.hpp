@@ -2,11 +2,13 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "exp/batch.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario_registry.hpp"
+#include "exp/store/result_store.hpp"
 #include "exp/table.hpp"
 
 /// \file bench_common.hpp
@@ -19,7 +21,9 @@
 /// a calibration: packets_per_node defaults to 2 instead of 10 so the whole
 /// bench suite completes in minutes (pass e.g. SPMS_BENCH_PACKETS=10 to run
 /// the paper's full load).  SPMS_BENCH_SEEDS=K averages every cell over K
-/// seeds; SPMS_JOBS caps the worker pool.
+/// seeds; SPMS_JOBS caps the worker pool; SPMS_BENCH_STORE=DIR routes every
+/// bench through the persistent result store, so a figure rerun after a
+/// calibration tweak only pays for the changed cells.
 
 namespace spms::bench {
 
@@ -49,11 +53,41 @@ inline exp::SweepSpec make_spec(const std::string& name) {
   return spec;
 }
 
-/// Executes a spec on the batch engine with the default worker pool.
+/// The process-wide bench store (opened lazily from SPMS_BENCH_STORE, null
+/// when unset).  One instance serves every run_spec call of the binary so
+/// back-to-back sweeps share the cache and the append handle.
+inline exp::store::ResultStore* bench_store() {
+  static const std::unique_ptr<exp::store::ResultStore> store =
+      []() -> std::unique_ptr<exp::store::ResultStore> {
+    const char* dir = std::getenv("SPMS_BENCH_STORE");
+    if (dir == nullptr || *dir == '\0') return nullptr;
+    try {
+      auto s = std::make_unique<exp::store::ResultStore>(dir);
+      s->load();
+      if (s->corrupt_lines() > 0) {
+        std::cerr << "bench store: skipped " << s->corrupt_lines() << " corrupt lines\n";
+      }
+      return s;
+    } catch (const std::exception& e) {
+      std::cerr << "bench: SPMS_BENCH_STORE=" << dir << ": " << e.what() << "\n";
+      std::exit(2);
+    }
+  }();
+  return store.get();
+}
+
+/// Executes a spec on the batch engine with the default worker pool,
+/// resolved against the SPMS_BENCH_STORE cache when one is configured.
 inline exp::BatchResult run_spec(const exp::SweepSpec& spec) {
   exp::BatchOptions options;
   options.jobs = 0;  // SPMS_JOBS env or hardware concurrency
-  return exp::BatchRunner{options}.run(spec);
+  options.store = bench_store();
+  auto batch = exp::BatchRunner{options}.run(spec);
+  if (options.store != nullptr) {
+    std::cerr << spec.name << ": executed " << batch.executed() << " jobs ("
+              << batch.cached() << " cached)\n";
+  }
+  return batch;
 }
 
 /// Standard bench header.

@@ -33,9 +33,11 @@ int main() {
   t.add_row({"TOutADV", exp::fmt(cfg.proto.tout_adv.to_ms(), 1) + " ms", "Table 1"});
   t.add_row({"TOutDAT", exp::fmt(cfg.proto.tout_dat.to_ms(), 1) + " ms", "Table 1"});
   t.add_row({"failure inter-arrival", "exp, mean " +
-                 exp::fmt(cfg.failure.mean_time_between_failures.to_ms(), 0) + " ms", "Table 1"});
-  t.add_row({"repair time", "U(" + exp::fmt(cfg.failure.repair_min.to_ms(), 0) + ", " +
-                 exp::fmt(cfg.failure.repair_max.to_ms(), 0) + ") ms (MTTR 10 ms)", "Table 1"});
+                 exp::fmt(cfg.faults.crash.mean_time_between_failures.to_ms(), 0) + " ms",
+             "Table 1"});
+  t.add_row({"repair time", "U(" + exp::fmt(cfg.faults.crash.repair_min.to_ms(), 0) + ", " +
+                 exp::fmt(cfg.faults.crash.repair_max.to_ms(), 0) + ") ms (MTTR 10 ms)",
+             "Table 1"});
 
   const auto radio = net::RadioTable::mica2();
   for (std::size_t i = 0; i < radio.num_levels(); ++i) {

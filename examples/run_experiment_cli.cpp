@@ -19,6 +19,11 @@
 ///  * Merge mode — union shard stores into one:
 ///      run_experiment_cli merge DEST_STORE SRC_STORE...
 ///
+///  * Store introspection — what a store directory holds:
+///      run_experiment_cli store ls DIR
+///    Prints the scenarios present (with entry counts), the schema versions
+///    on disk, and how many corrupt lines a load would skip.
+///
 ///  * Single-run mode (no --scenario) — every knob of ExperimentConfig
 ///    behind flags, one run, metric/value table:
 ///      run_experiment_cli --protocol spms --nodes 169 --radius 25 --failures
@@ -52,12 +57,14 @@ using namespace spms;
          "       [--format table|csv|json] [--per-seed] [--quiet]\n"
          "   or: " << argv0 << " --list\n"
          "   or: " << argv0 << " merge DEST_STORE SRC_STORE...\n"
+         "   or: " << argv0 << " store ls DIR\n"
          "   or: " << argv0
       << " [--protocol spms|spin|flood] [--nodes N] [--radius M] [--packets K]\n"
          "       [--pitch M] [--seed S] [--max-events N] [--failures] [--mobility]\n"
-         "       [--cluster] [--sink] [--random-deployment] [--cross-zone TTL]\n"
-         "       [--relay-caching] [--scones N] [--rx-power MW] [--paper-mac]\n"
-         "       [--format table|csv|json] [--csv]\n";
+         "       [--region-outages] [--battery-deaths] [--link-degradation]\n"
+         "       [--sink-churn] [--cluster] [--sink] [--random-deployment]\n"
+         "       [--cross-zone TTL] [--relay-caching] [--scones N] [--rx-power MW]\n"
+         "       [--paper-mac] [--format table|csv|json] [--csv]\n";
   std::exit(2);
 }
 
@@ -156,6 +163,49 @@ int merge_stores(int argc, char** argv) {
             << dest->size() << " total";
   if (corrupt > 0) std::cerr << ", " << corrupt << " corrupt lines skipped";
   std::cerr << ")\n";
+  return 0;
+}
+
+int store_mode(int argc, char** argv) {
+  // `store ls DIR`: introspection without loading the store into a run.
+  if (argc != 4 || std::strcmp(argv[2], "ls") != 0) usage(argv[0]);
+  if (!std::filesystem::is_directory(argv[3])) {
+    std::cerr << "store ls: '" << argv[3] << "' is not a store directory\n";
+    return 2;
+  }
+  exp::store::StoreInventory inv;
+  try {
+    exp::store::ResultStore store{argv[3]};
+    inv = store.inventory();
+  } catch (const std::exception& e) {
+    std::cerr << "store ls: " << e.what() << "\n";
+    return 2;
+  }
+  std::size_t entries = 0;
+  for (const auto& [scenario, count] : inv.scenarios) {
+    static_cast<void>(scenario);
+    entries += count;
+  }
+  std::cerr << argv[3] << ": " << inv.files << " file(s), " << inv.total_lines
+            << " record line(s), " << entries << " live entr"
+            << (entries == 1 ? "y" : "ies") << " (schema v"
+            << exp::store::kSchemaVersion << ")";
+  if (inv.corrupt_lines > 0) std::cerr << ", " << inv.corrupt_lines << " corrupt";
+  std::cerr << "\n";
+
+  exp::Table schemas({"schema", "lines", "status"});
+  for (const auto& [version, lines] : inv.schema_lines) {
+    schemas.add_row({"v" + std::to_string(version), std::to_string(lines),
+                     version == exp::store::kSchemaVersion ? "current" : "stale (invisible)"});
+  }
+  schemas.print(std::cout);
+  std::cout << "\n";
+
+  exp::Table t({"scenario", "entries"});
+  for (const auto& [scenario, count] : inv.scenarios) {
+    t.add_row({scenario, std::to_string(count)});
+  }
+  t.print(std::cout);
   return 0;
 }
 
@@ -286,6 +336,7 @@ int run_scenario_mode(const std::string& name, const ScenarioOptions& opt) {
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "merge") == 0) return merge_stores(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "store") == 0) return store_mode(argc, argv);
 
   exp::ExperimentConfig cfg;
   cfg.node_count = 49;
@@ -368,8 +419,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--seed") {
       cfg.seed = parse_u64(next(), argv[0]);
     } else if (arg == "--failures") {
-      cfg.inject_failures = true;
+      cfg.faults.crash.enabled = true;
       cfg.activity_horizon = sim::Duration::ms(2000);
+    } else if (arg == "--region-outages") {
+      exp::scaled_region_outages(cfg);
+    } else if (arg == "--battery-deaths") {
+      exp::scaled_battery_depletion(cfg);
+    } else if (arg == "--link-degradation") {
+      exp::scaled_link_degradation(cfg);
+    } else if (arg == "--sink-churn") {
+      exp::scaled_sink_churn(cfg);
     } else if (arg == "--mobility") {
       cfg.mobility = true;
       cfg.activity_horizon = sim::Duration::ms(2000);
@@ -437,6 +496,12 @@ int main(int argc, char** argv) {
                                              std::to_string(r.net_counters.tx_req) + "/" +
                                              std::to_string(r.net_counters.tx_data)});
   t.add_row({"failures injected", std::to_string(r.failures_injected)});
+  t.add_row({"fault events", std::to_string(r.fault_stats.fault_events)});
+  t.add_row({"permanent deaths", std::to_string(r.fault_stats.permanent_deaths)});
+  t.add_row({"node downtime (ms)", exp::fmt(r.fault_stats.total_downtime_ms, 1)});
+  t.add_row({"mean recovery latency (ms)",
+             exp::fmt(r.fault_stats.mean_recovery_latency_ms, 3)});
+  t.add_row({"link-fault drops", std::to_string(r.net_counters.dropped_link_fault)});
   t.add_row({"mobility epochs", std::to_string(r.mobility_epochs)});
   t.add_row({"acquisitions given up", std::to_string(r.given_up)});
   t.add_row({"simulated time (ms)", exp::fmt(r.sim_time_ms, 1)});

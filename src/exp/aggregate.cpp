@@ -40,6 +40,17 @@ AggregateResult aggregate(const std::vector<RunResult>& runs) {
   a.given_up = over(runs, [](const RunResult& r) { return r.given_up; });
   a.sim_time_ms = over(runs, [](const RunResult& r) { return r.sim_time_ms; });
   a.events_executed = over(runs, [](const RunResult& r) { return r.events_executed; });
+  a.fault_events = over(runs, [](const RunResult& r) { return r.fault_stats.fault_events; });
+  a.fault_downtime_ms =
+      over(runs, [](const RunResult& r) { return r.fault_stats.total_downtime_ms; });
+  a.fault_outage_time_ms =
+      over(runs, [](const RunResult& r) { return r.fault_stats.outage_time_ms; });
+  a.fault_recovery_latency_ms =
+      over(runs, [](const RunResult& r) { return r.fault_stats.mean_recovery_latency_ms; });
+  a.fault_permanent_deaths =
+      over(runs, [](const RunResult& r) { return r.fault_stats.permanent_deaths; });
+  a.fault_outage_deliveries =
+      over(runs, [](const RunResult& r) { return r.fault_stats.deliveries_during_outage; });
   return a;
 }
 

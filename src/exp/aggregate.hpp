@@ -39,6 +39,14 @@ struct AggregateResult {
   stats::Aggregate given_up;
   stats::Aggregate sim_time_ms;
   stats::Aggregate events_executed;
+
+  // Fault-campaign recovery metrics (all zero-mean without faults).
+  stats::Aggregate fault_events;
+  stats::Aggregate fault_downtime_ms;
+  stats::Aggregate fault_outage_time_ms;
+  stats::Aggregate fault_recovery_latency_ms;
+  stats::Aggregate fault_permanent_deaths;
+  stats::Aggregate fault_outage_deliveries;
 };
 
 /// Computes per-metric statistics across `runs` (typically one per seed).

@@ -6,7 +6,7 @@
 #include "core/protocol.hpp"
 #include "core/spms.hpp"
 #include "core/traffic.hpp"
-#include "net/failure.hpp"
+#include "faults/plan.hpp"
 #include "net/mobility.hpp"
 #include "net/params.hpp"
 #include "routing/bellman_ford.hpp"
@@ -61,9 +61,11 @@ struct ExperimentConfig {
   core::TrafficParams traffic;
   routing::DbfParams dbf;
 
-  // --- failures ---------------------------------------------------------------
-  bool inject_failures = false;
-  net::FailureParams failure;
+  // --- faults -----------------------------------------------------------------
+  /// Stacked fault processes (crash/repair renewal, region blackouts,
+  /// battery deaths, link degradation, sink churn); see faults/plan.hpp.
+  /// Every parameter feeds the store's config key.
+  faults::FaultPlan faults;
 
   // --- mobility ---------------------------------------------------------------
   bool mobility = false;

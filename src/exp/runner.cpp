@@ -33,7 +33,11 @@ RunResult run_experiment(const ExperimentConfig& config) {
 
   r.net_counters = s.network().counters();
   if (s.routing() != nullptr) r.dbf_total = s.routing()->total_stats();
-  if (s.failures() != nullptr) r.failures_injected = s.failures()->failures_injected();
+  if (s.faults() != nullptr) {
+    s.faults()->finalize();  // close open downtime / outage intervals
+    r.fault_stats = s.faults()->stats();
+    r.failures_injected = r.fault_stats.node_downs;
+  }
   if (s.mobility() != nullptr) r.mobility_epochs = s.mobility()->epochs();
   r.given_up = s.protocol().given_up();
   r.sim_time_ms = s.simulation().now().to_ms();

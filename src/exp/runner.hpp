@@ -5,6 +5,7 @@
 
 #include "exp/config.hpp"
 #include "exp/scenario.hpp"
+#include "faults/observer.hpp"
 #include "net/energy.hpp"
 #include "net/network.hpp"
 #include "routing/bellman_ford.hpp"
@@ -42,6 +43,10 @@ struct RunResult {
   // Diagnostics.
   net::NetCounters net_counters;
   routing::DbfStats dbf_total;   ///< zeros for protocols without routing
+  /// Recovery metrics of the run's FaultPlan (all zeros without faults).
+  faults::FaultStats fault_stats;
+  /// Node-level crash transitions (== fault_stats.node_downs; kept as the
+  /// legacy headline metric).
   std::uint64_t failures_injected = 0;
   std::uint64_t mobility_epochs = 0;
   std::uint64_t given_up = 0;

@@ -35,6 +35,20 @@ Scenario::Scenario(const ExperimentConfig& config) : config_(config) {
                                         config_.energy, std::move(positions),
                                         config_.zone_radius_m);
 
+  // The node nearest the field centre: sink of the kSink pattern, anchor of
+  // the sink-churn fault model.
+  {
+    const net::Point centre{field_side_m_ / 2.0, field_side_m_ / 2.0};
+    double best = std::numeric_limits<double>::infinity();
+    for (std::uint32_t i = 0; i < net_->size(); ++i) {
+      const double d = distance(net_->position(net::NodeId{i}), centre);
+      if (d < best) {
+        best = d;
+        central_node_ = net::NodeId{i};
+      }
+    }
+  }
+
   switch (config_.pattern) {
     case TrafficPattern::kAllToAll:
       interest_ = std::make_unique<core::AllToAllInterest>(net_->size());
@@ -44,21 +58,9 @@ Scenario::Scenario(const ExperimentConfig& config) : config_(config) {
                                                           config_.cluster_p_other,
                                                           config_.seed ^ 0xC1057E8ull);
       break;
-    case TrafficPattern::kSink: {
-      // The node nearest the field centre collects everything.
-      const net::Point centre{field_side_m_ / 2.0, field_side_m_ / 2.0};
-      net::NodeId sink{0};
-      double best = std::numeric_limits<double>::infinity();
-      for (std::uint32_t i = 0; i < net_->size(); ++i) {
-        const double d = distance(net_->position(net::NodeId{i}), centre);
-        if (d < best) {
-          best = d;
-          sink = net::NodeId{i};
-        }
-      }
-      interest_ = std::make_unique<core::SinkInterest>(sink);
+    case TrafficPattern::kSink:
+      interest_ = std::make_unique<core::SinkInterest>(central_node_);
       break;
-    }
   }
 
   switch (config_.protocol) {
@@ -79,18 +81,20 @@ Scenario::Scenario(const ExperimentConfig& config) : config_(config) {
   }
 
   collector_ = std::make_unique<core::Collector>();
+  if (config_.faults.any()) {
+    faults_ = std::make_unique<faults::FaultController>(*sim_, *net_, config_.faults,
+                                                        central_node_);
+  }
   protocol_->set_delivery_callback(
-      [collector = collector_.get()](net::NodeId node, net::DataId item, sim::TimePoint at) {
+      [collector = collector_.get(), faults = faults_.get()](
+          net::NodeId node, net::DataId item, sim::TimePoint at) {
         collector->record_delivery(node, item, at);
+        if (faults != nullptr) faults->record_delivery(node, at);
       });
 
   traffic_ = std::make_unique<core::TrafficGenerator>(*sim_, *net_, *protocol_, *interest_,
                                                       *collector_, config_.traffic,
                                                       config_.seed ^ 0x7AFF1Cu);
-
-  if (config_.inject_failures) {
-    failures_ = std::make_unique<net::FailureInjector>(*sim_, *net_, config_.failure);
-  }
 
   if (config_.mobility) {
     if (config_.pattern == TrafficPattern::kCluster) {
@@ -114,7 +118,7 @@ Scenario::Scenario(const ExperimentConfig& config) : config_(config) {
 void Scenario::start() {
   const auto horizon = sim_->now() + config_.activity_horizon;
   traffic_->start();
-  if (failures_) failures_->start(horizon);
+  if (faults_) faults_->start(horizon);
   if (mobility_) mobility_->start(horizon);
 }
 

@@ -7,7 +7,7 @@
 #include "core/protocol.hpp"
 #include "core/traffic.hpp"
 #include "exp/config.hpp"
-#include "net/failure.hpp"
+#include "faults/controller.hpp"
 #include "net/mobility.hpp"
 #include "net/network.hpp"
 #include "routing/bellman_ford.hpp"
@@ -44,11 +44,16 @@ class Scenario {
   [[nodiscard]] core::DisseminationProtocol& protocol() { return *protocol_; }
   [[nodiscard]] core::Collector& collector() { return *collector_; }
   [[nodiscard]] core::TrafficGenerator& traffic() { return *traffic_; }
-  [[nodiscard]] net::FailureInjector* failures() { return failures_.get(); }
+  /// Null unless the config's FaultPlan enables at least one model.
+  [[nodiscard]] faults::FaultController* faults() { return faults_.get(); }
   [[nodiscard]] net::MobilityProcess* mobility() { return mobility_.get(); }
 
   /// Side length of the deployed square field, metres.
   [[nodiscard]] double field_side_m() const { return field_side_m_; }
+
+  /// The node nearest the field centre: the sink of the kSink pattern and
+  /// the anchor of the sink-churn fault model.
+  [[nodiscard]] net::NodeId central_node() const { return central_node_; }
 
  private:
   ExperimentConfig config_;
@@ -59,9 +64,10 @@ class Scenario {
   std::unique_ptr<core::DisseminationProtocol> protocol_;
   std::unique_ptr<core::Collector> collector_;
   std::unique_ptr<core::TrafficGenerator> traffic_;
-  std::unique_ptr<net::FailureInjector> failures_;
+  std::unique_ptr<faults::FaultController> faults_;
   std::unique_ptr<net::MobilityProcess> mobility_;
   double field_side_m_ = 0.0;
+  net::NodeId central_node_{0};
 };
 
 }  // namespace spms::exp

@@ -164,12 +164,12 @@ SweepSpec extensions() {
   spec.base = reference_config();
   spec.base.node_count = 100;
   spec.base.protocol = ProtocolKind::kSpms;
-  spec.base.inject_failures = true;
+  spec.base.faults.crash.enabled = true;
   spec.base.activity_horizon = sim::Duration::ms(2000);
   const auto caching = [](ExperimentConfig& c) { c.spms_ext.relay_caching = true; };
   const auto scones = [](ExperimentConfig& c) { c.spms_ext.num_scones = 2; };
   const auto both = [=](ExperimentConfig& c) { caching(c); scones(c); };
-  const auto no_fail = [](ExperimentConfig& c) { c.inject_failures = false; };
+  const auto no_fail = [](ExperimentConfig& c) { c.faults.crash.enabled = false; };
   spec.variants = {
       {"published", nullptr},
       {"relay-caching", caching},
@@ -194,6 +194,119 @@ SweepSpec smoke() {
   return spec;
 }
 
+// --- faults-* campaign family ------------------------------------------------
+
+/// One variant per fault model plus the stacked worst case; the shared axis
+/// of the whole family.
+std::vector<ConfigVariant> fault_model_axis(bool with_clean) {
+  std::vector<ConfigVariant> v;
+  if (with_clean) v.push_back({"clean", nullptr});
+  v.push_back({"crash", scaled_failures});
+  v.push_back({"region", scaled_region_outages});
+  v.push_back({"battery", scaled_battery_depletion});
+  v.push_back({"link", scaled_link_degradation});
+  v.push_back({"sink-churn", scaled_sink_churn});
+  v.push_back({"stacked", scaled_stacked_faults});
+  return v;
+}
+
+SweepSpec faults_smoke() {
+  SweepSpec spec;
+  spec.name = "faults-smoke";
+  spec.base = reference_config();
+  spec.base.node_count = 16;
+  spec.base.zone_radius_m = 12.0;
+  spec.base.traffic.packets_per_node = 1;
+  // CI-sized regimes: the scaled 6 s campaign compressed onto a 1 s horizon
+  // so every model still fires a handful of events while the whole sweep
+  // stays seconds-cheap.
+  spec.base.activity_horizon = sim::Duration::ms(1000.0);
+  const auto mini_crash = [](ExperimentConfig& c) {
+    c.faults.crash.enabled = true;
+    c.faults.crash.mean_time_between_failures = sim::Duration::ms(300.0);
+    c.faults.crash.repair_min = sim::Duration::ms(40.0);
+    c.faults.crash.repair_max = sim::Duration::ms(80.0);
+  };
+  const auto mini_region = [](ExperimentConfig& c) {
+    c.faults.region.enabled = true;
+    c.faults.region.mean_time_between_outages = sim::Duration::ms(250.0);
+    c.faults.region.radius_m = 8.0;
+    c.faults.region.repair_min = sim::Duration::ms(50.0);
+    c.faults.region.repair_max = sim::Duration::ms(100.0);
+  };
+  const auto mini_battery = [](ExperimentConfig& c) {
+    c.faults.battery.enabled = true;
+    c.faults.battery.death_fraction = 0.15;
+  };
+  const auto mini_link = [](ExperimentConfig& c) {
+    c.faults.link.enabled = true;
+    c.faults.link.drop_start = 0.0;
+    c.faults.link.drop_end = 0.3;
+  };
+  const auto mini_sink = [](ExperimentConfig& c) {
+    c.faults.sink_churn.enabled = true;
+    c.faults.sink_churn.hops = 2;
+    c.faults.sink_churn.mean_time_between_failures = sim::Duration::ms(150.0);
+    c.faults.sink_churn.repair_min = sim::Duration::ms(30.0);
+    c.faults.sink_churn.repair_max = sim::Duration::ms(60.0);
+  };
+  spec.variants = {
+      {"crash", mini_crash},
+      {"region", mini_region},
+      {"battery", mini_battery},
+      {"link", mini_link},
+      {"sink-churn", mini_sink},
+      {"stacked",
+       [=](ExperimentConfig& c) {
+         mini_crash(c);
+         mini_region(c);
+         mini_battery(c);
+         mini_link(c);
+         mini_sink(c);
+       }},
+  };
+  return spec;
+}
+
+SweepSpec faults_models() {
+  SweepSpec spec;
+  spec.name = "faults-models";
+  spec.base = reference_config();
+  spec.protocols = pair_axis();
+  spec.node_counts = {49, 100, 169};
+  spec.variants = fault_model_axis(/*with_clean=*/true);
+  return spec;
+}
+
+SweepSpec faults_intensity() {
+  SweepSpec spec;
+  spec.name = "faults-intensity";
+  spec.base = reference_config();
+  spec.base.node_count = 100;
+  spec.protocols = pair_axis();
+  // One knob, the whole stacked plan: event rates scale with k, battery
+  // deaths and peak link loss scale (clamped) with k.
+  const auto intensity = [](double k) {
+    return [k](ExperimentConfig& c) {
+      scaled_stacked_faults(c);
+      auto& f = c.faults;
+      f.crash.mean_time_between_failures = f.crash.mean_time_between_failures * (1.0 / k);
+      f.region.mean_time_between_outages = f.region.mean_time_between_outages * (1.0 / k);
+      f.battery.death_fraction = std::min(0.5, f.battery.death_fraction * k);
+      f.link.drop_end = std::min(0.9, f.link.drop_end * k);
+      f.sink_churn.mean_time_between_failures =
+          f.sink_churn.mean_time_between_failures * (1.0 / k);
+    };
+  };
+  spec.variants = {
+      {"x0.5", intensity(0.5)},
+      {"x1", intensity(1.0)},
+      {"x2", intensity(2.0)},
+      {"x4", intensity(4.0)},
+  };
+  return spec;
+}
+
 }  // namespace
 
 ExperimentConfig reference_config() {
@@ -213,11 +326,50 @@ ExperimentConfig reference_config() {
 }
 
 void scaled_failures(ExperimentConfig& cfg) {
-  cfg.inject_failures = true;
-  cfg.failure.mean_time_between_failures = sim::Duration::ms(2500.0);
-  cfg.failure.repair_min = sim::Duration::ms(250.0);
-  cfg.failure.repair_max = sim::Duration::ms(750.0);
+  cfg.faults.crash.enabled = true;
+  cfg.faults.crash.mean_time_between_failures = sim::Duration::ms(2500.0);
+  cfg.faults.crash.repair_min = sim::Duration::ms(250.0);
+  cfg.faults.crash.repair_max = sim::Duration::ms(750.0);
   cfg.activity_horizon = sim::Duration::ms(6000.0);
+}
+
+void scaled_region_outages(ExperimentConfig& cfg) {
+  cfg.faults.region.enabled = true;
+  cfg.faults.region.mean_time_between_outages = sim::Duration::ms(1500.0);
+  cfg.faults.region.radius_m = 12.0;
+  cfg.faults.region.repair_min = sim::Duration::ms(300.0);
+  cfg.faults.region.repair_max = sim::Duration::ms(700.0);
+  cfg.activity_horizon = sim::Duration::ms(6000.0);
+}
+
+void scaled_battery_depletion(ExperimentConfig& cfg) {
+  cfg.faults.battery.enabled = true;
+  cfg.faults.battery.death_fraction = 0.1;
+  cfg.activity_horizon = sim::Duration::ms(6000.0);
+}
+
+void scaled_link_degradation(ExperimentConfig& cfg) {
+  cfg.faults.link.enabled = true;
+  cfg.faults.link.drop_start = 0.0;
+  cfg.faults.link.drop_end = 0.25;
+  cfg.activity_horizon = sim::Duration::ms(6000.0);
+}
+
+void scaled_sink_churn(ExperimentConfig& cfg) {
+  cfg.faults.sink_churn.enabled = true;
+  cfg.faults.sink_churn.hops = 2;
+  cfg.faults.sink_churn.mean_time_between_failures = sim::Duration::ms(1000.0);
+  cfg.faults.sink_churn.repair_min = sim::Duration::ms(150.0);
+  cfg.faults.sink_churn.repair_max = sim::Duration::ms(450.0);
+  cfg.activity_horizon = sim::Duration::ms(6000.0);
+}
+
+void scaled_stacked_faults(ExperimentConfig& cfg) {
+  scaled_failures(cfg);
+  scaled_region_outages(cfg);
+  scaled_battery_depletion(cfg);
+  scaled_link_degradation(cfg);
+  scaled_sink_churn(cfg);
 }
 
 void round_dominated_mac(ExperimentConfig& cfg) {
@@ -254,6 +406,13 @@ const std::vector<ScenarioInfo>& scenario_registry() {
        "paper Section 6: relay caching should improve fault tolerance", extensions},
       {"smoke", "16-node quick check (CI smoke; not a paper figure)",
        "both protocols deliver everything on a small static grid", smoke},
+      {"faults-models", "every fault model vs the crash-only baseline, 49-169 nodes",
+       "resilience claims must survive regimes beyond independent crashes", faults_models},
+      {"faults-intensity", "stacked worst-case faults at 0.5x-4x intensity, 100 nodes",
+       "graceful degradation: delivery and recovery latency vs fault pressure",
+       faults_intensity},
+      {"faults-smoke", "16-node fault-model quick check (CI smoke; not a paper figure)",
+       "all five fault models run, cache, and resume deterministically", faults_smoke},
   };
   return registry;
 }

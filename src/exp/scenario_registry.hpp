@@ -45,6 +45,19 @@ struct ScenarioInfo {
 /// the paper's relative churn on our stretched clock (EXPERIMENTS.md).
 void scaled_failures(ExperimentConfig& cfg);
 
+/// The other fault models' scaled regimes for the faults-* campaign
+/// (EXPERIMENTS.md documents each): region blackouts every ~1.5 s over a
+/// 12 m disk, 10% permanent battery deaths, link drops ramping 0 → 25%,
+/// and crash churn confined to the sink's 2-hop neighborhood.  Each also
+/// stretches the activity horizon to the 6 s failure timescale.
+void scaled_region_outages(ExperimentConfig& cfg);
+void scaled_battery_depletion(ExperimentConfig& cfg);
+void scaled_link_degradation(ExperimentConfig& cfg);
+void scaled_sink_churn(ExperimentConfig& cfg);
+
+/// All five scaled regimes stacked — the worst-case composite plan.
+void scaled_stacked_faults(ExperimentConfig& cfg);
+
 /// Round-dominated regime (paper-style MAC): no queueing, backoff + airtime
 /// only.  Isolates the paper's falling-delay-with-radius mechanism (Fig. 9).
 void round_dominated_mac(ExperimentConfig& cfg);

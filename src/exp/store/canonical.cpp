@@ -290,10 +290,26 @@ std::string canonical_config_json(const ExperimentConfig& c) {
   w.u64("dbf.bytes_per_entry", c.dbf.bytes_per_entry);
   w.b("dbf.charge_energy", c.dbf.charge_energy);
   w.u64("dbf.max_rounds", c.dbf.max_rounds);
-  w.b("inject_failures", c.inject_failures);
-  w.i64("failure.mtbf_ns", c.failure.mean_time_between_failures.count_nanos());
-  w.i64("failure.repair_min_ns", c.failure.repair_min.count_nanos());
-  w.i64("failure.repair_max_ns", c.failure.repair_max.count_nanos());
+  const auto& f = c.faults;
+  w.b("faults.crash.enabled", f.crash.enabled);
+  w.i64("faults.crash.mtbf_ns", f.crash.mean_time_between_failures.count_nanos());
+  w.i64("faults.crash.repair_min_ns", f.crash.repair_min.count_nanos());
+  w.i64("faults.crash.repair_max_ns", f.crash.repair_max.count_nanos());
+  w.b("faults.region.enabled", f.region.enabled);
+  w.i64("faults.region.mtbo_ns", f.region.mean_time_between_outages.count_nanos());
+  w.d("faults.region.radius_m", f.region.radius_m);
+  w.i64("faults.region.repair_min_ns", f.region.repair_min.count_nanos());
+  w.i64("faults.region.repair_max_ns", f.region.repair_max.count_nanos());
+  w.b("faults.battery.enabled", f.battery.enabled);
+  w.d("faults.battery.death_fraction", f.battery.death_fraction);
+  w.b("faults.link.enabled", f.link.enabled);
+  w.d("faults.link.drop_start", f.link.drop_start);
+  w.d("faults.link.drop_end", f.link.drop_end);
+  w.b("faults.sink_churn.enabled", f.sink_churn.enabled);
+  w.u64("faults.sink_churn.hops", f.sink_churn.hops);
+  w.i64("faults.sink_churn.mtbf_ns", f.sink_churn.mean_time_between_failures.count_nanos());
+  w.i64("faults.sink_churn.repair_min_ns", f.sink_churn.repair_min.count_nanos());
+  w.i64("faults.sink_churn.repair_max_ns", f.sink_churn.repair_max.count_nanos());
   w.b("mobility", c.mobility);
   w.i64("mobility.epoch_interval_ns", c.mobility_params.epoch_interval.count_nanos());
   w.d("mobility.move_fraction", c.mobility_params.move_fraction);
@@ -345,11 +361,23 @@ std::string result_to_json(const RunResult& r) {
   w.u64("net.dropped_sender_down", r.net_counters.dropped_sender_down);
   w.u64("net.dropped_out_of_range", r.net_counters.dropped_out_of_range);
   w.u64("net.dropped_receiver_down", r.net_counters.dropped_receiver_down);
+  w.u64("net.dropped_link_fault", r.net_counters.dropped_link_fault);
   w.u64("dbf.rounds", r.dbf_total.rounds);
   w.u64("dbf.messages", r.dbf_total.messages);
   w.u64("dbf.message_bytes", r.dbf_total.message_bytes);
   w.d("dbf.energy_uj", r.dbf_total.energy_uj);
   w.b("dbf.converged", r.dbf_total.converged);
+  w.u64("faults.events", r.fault_stats.fault_events);
+  w.u64("faults.node_downs", r.fault_stats.node_downs);
+  w.u64("faults.node_repairs", r.fault_stats.node_repairs);
+  w.u64("faults.permanent_deaths", r.fault_stats.permanent_deaths);
+  w.u64("faults.max_concurrent_down", r.fault_stats.max_concurrent_down);
+  w.d("faults.total_downtime_ms", r.fault_stats.total_downtime_ms);
+  w.d("faults.outage_time_ms", r.fault_stats.outage_time_ms);
+  w.u64("faults.outage_deliveries", r.fault_stats.deliveries_during_outage);
+  w.u64("faults.recoveries_sampled", r.fault_stats.recoveries_sampled);
+  w.d("faults.mean_recovery_latency_ms", r.fault_stats.mean_recovery_latency_ms);
+  w.u64("faults.repairs_unrecovered", r.fault_stats.repairs_unrecovered);
   w.u64("failures_injected", r.failures_injected);
   w.u64("mobility_epochs", r.mobility_epochs);
   w.u64("given_up", r.given_up);
@@ -392,11 +420,32 @@ std::optional<RunResult> result_from_json(std::string_view json) {
       return parse_raw_int(raw, r.net_counters.dropped_out_of_range);
     if (key == "net.dropped_receiver_down")
       return parse_raw_int(raw, r.net_counters.dropped_receiver_down);
+    if (key == "net.dropped_link_fault")
+      return parse_raw_int(raw, r.net_counters.dropped_link_fault);
     if (key == "dbf.rounds") return parse_raw_int(raw, r.dbf_total.rounds);
     if (key == "dbf.messages") return parse_raw_int(raw, r.dbf_total.messages);
     if (key == "dbf.message_bytes") return parse_raw_int(raw, r.dbf_total.message_bytes);
     if (key == "dbf.energy_uj") return parse_raw_double(raw, r.dbf_total.energy_uj);
     if (key == "dbf.converged") return parse_raw_bool(raw, r.dbf_total.converged);
+    if (key == "faults.events") return parse_raw_int(raw, r.fault_stats.fault_events);
+    if (key == "faults.node_downs") return parse_raw_int(raw, r.fault_stats.node_downs);
+    if (key == "faults.node_repairs") return parse_raw_int(raw, r.fault_stats.node_repairs);
+    if (key == "faults.permanent_deaths")
+      return parse_raw_int(raw, r.fault_stats.permanent_deaths);
+    if (key == "faults.max_concurrent_down")
+      return parse_raw_int(raw, r.fault_stats.max_concurrent_down);
+    if (key == "faults.total_downtime_ms")
+      return parse_raw_double(raw, r.fault_stats.total_downtime_ms);
+    if (key == "faults.outage_time_ms")
+      return parse_raw_double(raw, r.fault_stats.outage_time_ms);
+    if (key == "faults.outage_deliveries")
+      return parse_raw_int(raw, r.fault_stats.deliveries_during_outage);
+    if (key == "faults.recoveries_sampled")
+      return parse_raw_int(raw, r.fault_stats.recoveries_sampled);
+    if (key == "faults.mean_recovery_latency_ms")
+      return parse_raw_double(raw, r.fault_stats.mean_recovery_latency_ms);
+    if (key == "faults.repairs_unrecovered")
+      return parse_raw_int(raw, r.fault_stats.repairs_unrecovered);
     if (key == "failures_injected") return parse_raw_int(raw, r.failures_injected);
     if (key == "mobility_epochs") return parse_raw_int(raw, r.mobility_epochs);
     if (key == "given_up") return parse_raw_int(raw, r.given_up);

@@ -25,7 +25,9 @@ namespace spms::exp::store {
 /// whenever a simulator change alters results for an unchanged config.
 /// Every config key changes with it, so old store entries simply stop
 /// matching — cache invalidation by schema version.
-inline constexpr int kSchemaVersion = 1;
+/// v2: the failure block became the five-model faults.* plan and results
+/// grew the faults.* recovery metrics + net.dropped_link_fault.
+inline constexpr int kSchemaVersion = 2;
 
 /// Stable field-ordered JSON object describing `config` completely.
 [[nodiscard]] std::string canonical_config_json(const ExperimentConfig& config);

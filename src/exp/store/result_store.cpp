@@ -104,6 +104,49 @@ std::size_t ResultStore::merge_from(const ResultStore& other) {
   return added;
 }
 
+StoreInventory ResultStore::inventory() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  StoreInventory inv;
+  // key -> scenario of the last complete current-schema record (last wins,
+  // matching load()'s dedup rule).
+  std::map<std::string, std::string> scenario_of_key;
+  for (const auto& file : jsonl_files(dir_)) {
+    ++inv.files;
+    std::ifstream in{file};
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      ++inv.total_lines;
+      const auto rec = parse_record_line(line);
+      if (!rec) {
+        ++inv.corrupt_lines;
+        continue;
+      }
+      ++inv.schema_lines[rec->schema];
+      if (rec->schema != kSchemaVersion) continue;
+      if (key_for_canonical(rec->config_json) != rec->key) {
+        ++inv.corrupt_lines;
+        continue;
+      }
+      const auto result = result_from_json(rec->result_json);
+      if (!result) {
+        ++inv.corrupt_lines;
+        continue;
+      }
+      const auto slash = result->label.find('/');
+      std::string scenario =
+          slash == std::string::npos ? result->label : result->label.substr(0, slash);
+      if (scenario.empty()) scenario = "(unlabeled)";
+      scenario_of_key.insert_or_assign(rec->key, std::move(scenario));
+    }
+  }
+  for (const auto& [key, scenario] : scenario_of_key) {
+    static_cast<void>(key);
+    ++inv.scenarios[scenario];
+  }
+  return inv;
+}
+
 void ResultStore::compact() {
   const std::lock_guard<std::mutex> lock{mu_};
   out_.close();

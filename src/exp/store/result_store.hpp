@@ -29,6 +29,22 @@
 
 namespace spms::exp::store {
 
+/// What a store directory holds, by scenario and schema version — the
+/// `run_experiment_cli store ls` introspection view.  Produced by scanning
+/// the disk files directly, so foreign-schema records (invisible to load())
+/// are reported instead of hidden.
+struct StoreInventory {
+  std::size_t files = 0;          ///< *.jsonl files scanned
+  std::size_t total_lines = 0;    ///< non-blank lines
+  std::size_t corrupt_lines = 0;  ///< unparseable or key-mismatched lines
+  /// Parseable record lines per schema version (current and foreign).
+  std::map<long long, std::size_t> schema_lines;
+  /// Current-schema entries (deduplicated by key, last record wins) per
+  /// scenario — the prefix of the result label before the first '/', or
+  /// "(unlabeled)" for single-run configs without one.
+  std::map<std::string, std::size_t> scenarios;
+};
+
 class ResultStore {
  public:
   /// Opens (and creates, if needed) the store directory.  Call load() to
@@ -65,6 +81,10 @@ class ResultStore {
   /// and onto disk).  Records present on both sides are kept as-is — equal
   /// keys mean equal configs mean equal results.  Returns the number added.
   std::size_t merge_from(const ResultStore& other);
+
+  /// Scans the directory's files and summarizes them (see StoreInventory).
+  /// Reads disk only; the in-memory view is untouched.
+  [[nodiscard]] StoreInventory inventory() const;
 
   /// Rewrites the whole store as a single `results.jsonl`, key-sorted, one
   /// record per key, dropping corrupt lines and superseded duplicates.

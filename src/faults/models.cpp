@@ -1,0 +1,192 @@
+#include "faults/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "faults/controller.hpp"
+
+namespace spms::faults {
+
+// --- CrashRepairModel --------------------------------------------------------
+
+CrashRepairModel::CrashRepairModel(FaultController& ctrl, CrashRepairParams params,
+                                   sim::Rng rng)
+    : ctrl_(ctrl), params_(params), rng_(rng) {}
+
+void CrashRepairModel::start(sim::TimePoint horizon) {
+  horizon_ = horizon;
+  auto& net = ctrl_.network();
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    schedule_failure(net::NodeId{static_cast<std::uint32_t>(i)});
+  }
+}
+
+void CrashRepairModel::schedule_failure(net::NodeId id) {
+  auto& sim = ctrl_.simulation();
+  const auto wait = rng_.exponential(params_.mean_time_between_failures);
+  const auto when = sim.now() + wait;
+  if (when >= horizon_) return;  // never initiate at or past the horizon
+  sim.at(when, [this, id] { crash(id); });
+}
+
+void CrashRepairModel::crash(net::NodeId id) {
+  auto& sim = ctrl_.simulation();
+  ++events_;
+  ctrl_.observer().record_event(name(), sim.now(), 1);
+  ctrl_.fail(id);
+  const auto repair = rng_.uniform(params_.repair_min, params_.repair_max);
+  sim.after(repair, [this, id] {
+    ctrl_.repair(id);
+    schedule_failure(id);
+  });
+}
+
+// --- RegionOutageModel -------------------------------------------------------
+
+RegionOutageModel::RegionOutageModel(FaultController& ctrl, RegionOutageParams params,
+                                     sim::Rng rng)
+    : ctrl_(ctrl), params_(params), rng_(rng) {}
+
+void RegionOutageModel::start(sim::TimePoint horizon) {
+  horizon_ = horizon;
+  schedule_outage();
+}
+
+void RegionOutageModel::schedule_outage() {
+  auto& sim = ctrl_.simulation();
+  const auto wait = rng_.exponential(params_.mean_time_between_outages);
+  const auto when = sim.now() + wait;
+  if (when >= horizon_) return;
+  sim.at(when, [this] { blackout(); });
+}
+
+void RegionOutageModel::blackout() {
+  auto& sim = ctrl_.simulation();
+  auto& net = ctrl_.network();
+  // Epicentre and repair are drawn unconditionally, so the outage timeline
+  // is a pure function of this model's stream; only the disk membership
+  // depends on (deterministic) world state such as mobility.
+  const auto centre = net::NodeId{static_cast<std::uint32_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(net.size()) - 1))};
+  const auto repair = rng_.uniform(params_.repair_min, params_.repair_max);
+  auto affected = net.neighbors_within(centre, params_.radius_m, /*include_down=*/true);
+  affected.push_back(centre);
+  ++events_;
+  ctrl_.observer().record_event(name(), sim.now(), affected.size());
+  for (const auto id : affected) ctrl_.fail(id);
+  sim.after(repair, [this, affected = std::move(affected)] {
+    for (const auto id : affected) ctrl_.repair(id);
+  });
+  schedule_outage();
+}
+
+// --- BatteryDepletionModel ---------------------------------------------------
+
+BatteryDepletionModel::BatteryDepletionModel(FaultController& ctrl,
+                                             BatteryDepletionParams params, sim::Rng rng)
+    : ctrl_(ctrl), params_(params), rng_(rng) {}
+
+void BatteryDepletionModel::start(sim::TimePoint horizon) {
+  auto& sim = ctrl_.simulation();
+  auto& net = ctrl_.network();
+  const auto n = net.size();
+  std::size_t count = 0;
+  if (params_.death_fraction > 0.0) {
+    count = static_cast<std::size_t>(
+        std::llround(params_.death_fraction * static_cast<double>(n)));
+    count = std::clamp<std::size_t>(count, 1, n);
+  }
+  std::vector<net::NodeId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(net::NodeId{static_cast<std::uint32_t>(i)});
+  rng_.shuffle(ids);
+  ids.resize(count);
+  victims_ = std::move(ids);
+  for (const auto id : victims_) {
+    const auto when = sim.now() + rng_.uniform(sim::Duration::zero(), horizon - sim.now());
+    if (when >= horizon) continue;  // ns rounding can land exactly on the horizon
+    sim.at(when, [this, id] {
+      ++events_;
+      ctrl_.observer().record_event(name(), ctrl_.simulation().now(), 1);
+      ctrl_.kill(id);
+    });
+  }
+}
+
+// --- LinkDegradationModel ----------------------------------------------------
+
+LinkDegradationModel::LinkDegradationModel(FaultController& ctrl,
+                                           LinkDegradationParams params, sim::Rng rng)
+    : ctrl_(ctrl), params_(params), rng_(rng) {}
+
+void LinkDegradationModel::start(sim::TimePoint horizon) {
+  start_ = ctrl_.simulation().now();
+  horizon_ = horizon;
+  started_ = true;
+  ctrl_.network().set_link_fault([this](net::NodeId /*from*/, net::NodeId /*to*/) {
+    const double p = drop_probability(ctrl_.simulation().now());
+    if (p <= 0.0) return false;
+    const bool drop = rng_.bernoulli(p);
+    if (drop) ++drops_;
+    return drop;
+  });
+}
+
+double LinkDegradationModel::drop_probability(sim::TimePoint at) const {
+  if (!started_ || at >= horizon_ || horizon_ <= start_) return 0.0;
+  const double f = (at - start_) / (horizon_ - start_);
+  return params_.drop_start + (params_.drop_end - params_.drop_start) * f;
+}
+
+// --- SinkChurnModel ----------------------------------------------------------
+
+SinkChurnModel::SinkChurnModel(FaultController& ctrl, SinkChurnParams params,
+                               net::NodeId sink, sim::Rng rng)
+    : ctrl_(ctrl), params_(params), sink_(sink), rng_(rng) {}
+
+void SinkChurnModel::start(sim::TimePoint horizon) {
+  horizon_ = horizon;
+  auto& net = ctrl_.network();
+  // BFS over the zone-radius connectivity graph, depth params_.hops, on the
+  // deployment as it stands at start time.
+  std::vector<bool> seen(net.size(), false);
+  seen[sink_.v] = true;
+  std::vector<net::NodeId> frontier{sink_};
+  for (std::uint32_t depth = 0; depth < params_.hops && !frontier.empty(); ++depth) {
+    std::vector<net::NodeId> next;
+    for (const auto id : frontier) {
+      for (const auto nb : net.neighbors_within(id, net.zone_radius(), /*include_down=*/true)) {
+        if (seen[nb.v]) continue;
+        seen[nb.v] = true;
+        next.push_back(nb);
+        targets_.push_back(nb);
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::sort(targets_.begin(), targets_.end(),
+            [](net::NodeId a, net::NodeId b) { return a.v < b.v; });
+  for (const auto id : targets_) schedule_failure(id);
+}
+
+void SinkChurnModel::schedule_failure(net::NodeId id) {
+  auto& sim = ctrl_.simulation();
+  const auto wait = rng_.exponential(params_.mean_time_between_failures);
+  const auto when = sim.now() + wait;
+  if (when >= horizon_) return;
+  sim.at(when, [this, id] { crash(id); });
+}
+
+void SinkChurnModel::crash(net::NodeId id) {
+  auto& sim = ctrl_.simulation();
+  ++events_;
+  ctrl_.observer().record_event(name(), sim.now(), 1);
+  ctrl_.fail(id);
+  const auto repair = rng_.uniform(params_.repair_min, params_.repair_max);
+  sim.after(repair, [this, id] {
+    ctrl_.repair(id);
+    schedule_failure(id);
+  });
+}
+
+}  // namespace spms::faults

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault_model.hpp"
+#include "faults/plan.hpp"
+#include "net/ids.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+/// \file models.hpp
+/// The five built-in fault models.  Each is constructed with its plan
+/// params and a private RNG (forked by the FaultController with the model's
+/// stream id) and drives node state exclusively through the controller.
+
+namespace spms::faults {
+
+class FaultController;
+
+/// (a) Per-node transient crash/repair renewal — the paper's Section 5.1.2
+/// process (net::FailureInjector) refactored behind the FaultModel
+/// interface.  Same stream, same draw order: a crash-only plan reproduces
+/// the legacy injector's timeline exactly.
+class CrashRepairModel final : public FaultModel {
+ public:
+  CrashRepairModel(FaultController& ctrl, CrashRepairParams params, sim::Rng rng);
+
+  [[nodiscard]] std::string_view name() const override { return "crash"; }
+  void start(sim::TimePoint horizon) override;
+  [[nodiscard]] std::uint64_t events_injected() const override { return events_; }
+
+ private:
+  void schedule_failure(net::NodeId id);
+  void crash(net::NodeId id);
+
+  FaultController& ctrl_;
+  CrashRepairParams params_;
+  sim::Rng rng_;
+  sim::TimePoint horizon_;
+  std::uint64_t events_ = 0;
+};
+
+/// (b) Spatially correlated region blackouts: every node inside a disk
+/// around a uniformly drawn epicentre fails together and is restored
+/// together.
+class RegionOutageModel final : public FaultModel {
+ public:
+  RegionOutageModel(FaultController& ctrl, RegionOutageParams params, sim::Rng rng);
+
+  [[nodiscard]] std::string_view name() const override { return "region"; }
+  void start(sim::TimePoint horizon) override;
+  [[nodiscard]] std::uint64_t events_injected() const override { return events_; }
+
+ private:
+  void schedule_outage();
+  void blackout();
+
+  FaultController& ctrl_;
+  RegionOutageParams params_;
+  sim::Rng rng_;
+  sim::TimePoint horizon_;
+  std::uint64_t events_ = 0;
+};
+
+/// (c) Permanent battery-depletion deaths: a fixed fraction of the nodes,
+/// chosen uniformly, dies at uniformly random instants before the horizon
+/// and never repairs.
+class BatteryDepletionModel final : public FaultModel {
+ public:
+  BatteryDepletionModel(FaultController& ctrl, BatteryDepletionParams params, sim::Rng rng);
+
+  [[nodiscard]] std::string_view name() const override { return "battery"; }
+  void start(sim::TimePoint horizon) override;
+  [[nodiscard]] std::uint64_t events_injected() const override { return events_; }
+
+  /// Nodes selected to die, death order (known after start()).
+  [[nodiscard]] const std::vector<net::NodeId>& victims() const { return victims_; }
+
+ private:
+  FaultController& ctrl_;
+  BatteryDepletionParams params_;
+  sim::Rng rng_;
+  std::vector<net::NodeId> victims_;
+  std::uint64_t events_ = 0;
+};
+
+/// (d) Link-level degradation: installs a per-reception drop draw on the
+/// network whose probability ramps linearly from drop_start (at start) to
+/// drop_end (at the horizon), then heals to zero.  events_injected() counts
+/// dropped receptions.
+class LinkDegradationModel final : public FaultModel {
+ public:
+  LinkDegradationModel(FaultController& ctrl, LinkDegradationParams params, sim::Rng rng);
+
+  [[nodiscard]] std::string_view name() const override { return "link"; }
+  void start(sim::TimePoint horizon) override;
+  [[nodiscard]] std::uint64_t events_injected() const override { return drops_; }
+
+  /// The instantaneous drop probability at `at` (zero outside the ramp).
+  [[nodiscard]] double drop_probability(sim::TimePoint at) const;
+
+ private:
+  FaultController& ctrl_;
+  LinkDegradationParams params_;
+  sim::Rng rng_;
+  sim::TimePoint start_;
+  sim::TimePoint horizon_;
+  bool started_ = false;
+  std::uint64_t drops_ = 0;
+};
+
+/// (e) Sink-neighborhood churn: the crash/repair renewal restricted to the
+/// nodes within `hops` zone-radius hops of the sink (sink excluded),
+/// computed by BFS on the deployment at start().
+class SinkChurnModel final : public FaultModel {
+ public:
+  SinkChurnModel(FaultController& ctrl, SinkChurnParams params, net::NodeId sink, sim::Rng rng);
+
+  [[nodiscard]] std::string_view name() const override { return "sink-churn"; }
+  void start(sim::TimePoint horizon) override;
+  [[nodiscard]] std::uint64_t events_injected() const override { return events_; }
+
+  /// The churned node set, ascending id (known after start()).
+  [[nodiscard]] const std::vector<net::NodeId>& targets() const { return targets_; }
+
+ private:
+  void schedule_failure(net::NodeId id);
+  void crash(net::NodeId id);
+
+  FaultController& ctrl_;
+  SinkChurnParams params_;
+  net::NodeId sink_;
+  sim::Rng rng_;
+  sim::TimePoint horizon_;
+  std::vector<net::NodeId> targets_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace spms::faults

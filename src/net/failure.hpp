@@ -13,6 +13,12 @@
 /// time drawn from a uniform distribution (repair_min, repair_max). During
 /// the time of repair, any received message is dropped and any scheduled
 /// packet transfer is cancelled. We assume recovery is always successful."
+///
+/// For experiment runs this process now lives behind the pluggable fault
+/// interface as faults::CrashRepairModel (same stream, same draw order, so
+/// a crash-only FaultPlan reproduces this injector's timeline exactly);
+/// FailureInjector remains the standalone driver for direct network-level
+/// use and the paper-Section-5.1.2 tests.
 
 namespace spms::net {
 

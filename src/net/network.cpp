@@ -174,6 +174,13 @@ void Network::deliver_frame(const Node& sender, const OutgoingFrame& frame) {
   std::vector<NodeId> processors;
   processors.reserve(hearers.size());
   for (NodeId h : hearers) {
+    if (link_fault_ && link_fault_(sender.id, h)) {
+      // Faded below the decode threshold for this receiver: no rx charge,
+      // no processing (ascending-id hearer order keeps the draws
+      // deterministic).
+      ++counters_.dropped_link_fault;
+      continue;
+    }
     const bool addressed = p.is_broadcast() || p.dst == h;
     if (addressed || energy_.charge_overhearing) {
       nodes_[h.v].meter.add_rx(rx_energy_uj(p.size_bytes), frame.use);
@@ -229,6 +236,7 @@ void Network::set_up(NodeId id, bool up) {
   } else {
     if (n.agent != nullptr) n.agent->on_up();
   }
+  if (on_state_change_) on_state_change_(id, up);
 }
 
 void Network::charge_tx(NodeId id, std::size_t bytes, double coverage_m, EnergyUse use) {

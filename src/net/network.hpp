@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "net/node.hpp"
@@ -35,6 +36,7 @@ struct NetCounters {
   std::uint64_t dropped_sender_down = 0;  ///< send() while the sender is down
   std::uint64_t dropped_out_of_range = 0; ///< requested disc beyond max range
   std::uint64_t dropped_receiver_down = 0;///< receiver failed before processing
+  std::uint64_t dropped_link_fault = 0;   ///< reception lost to a link fault
 
   [[nodiscard]] std::uint64_t tx_total() const { return tx_adv + tx_req + tx_data + tx_route; }
 };
@@ -98,6 +100,19 @@ class Network {
   // --- wiring ----------------------------------------------------------------
   /// Installs the protocol agent for a node (non-owning).
   void set_agent(NodeId id, Agent* agent) { nodes_.at(id.v).agent = agent; }
+
+  /// Invoked after every actual up/down transition (set_up no-ops excluded),
+  /// after the agent hooks ran.  The fault observer hangs here; pass nullptr
+  /// to detach.
+  using StateChangeFn = std::function<void(NodeId, bool up)>;
+  void set_on_state_change(StateChangeFn fn) { on_state_change_ = std::move(fn); }
+
+  /// Per-reception fault draw (link degradation): consulted once per hearer
+  /// of every delivered frame; returning true fades that reception — no
+  /// receive energy is charged and no agent sees the packet (counted in
+  /// NetCounters::dropped_link_fault).  Pass nullptr to detach.
+  using LinkFaultFn = std::function<bool(NodeId from, NodeId to)>;
+  void set_link_fault(LinkFaultFn fn) { link_fault_ = std::move(fn); }
 
   // --- transmission ----------------------------------------------------------
   /// Broadcasts `packet` so that the disc of `coverage_m` metres around the
@@ -165,6 +180,8 @@ class Network {
   std::vector<Node> nodes_;
   double zone_radius_m_;
   NetCounters counters_;
+  StateChangeFn on_state_change_;
+  LinkFaultFn link_fault_;
 };
 
 }  // namespace spms::net

@@ -100,13 +100,13 @@ TEST(SweepSpecTest, ExpansionOrderIsDeterministicAndComplete) {
 TEST(SweepSpecTest, VariantsMayOverrideAnyKnobButNotSeed) {
   SweepSpec spec;
   spec.variants = {{"hot", [](ExperimentConfig& c) {
-                      c.inject_failures = true;
+                      c.faults.crash.enabled = true;
                       c.seed = 999;  // stamped over by the seed axis
                     }}};
   spec.seeds = {5};
   const auto jobs = spec.expand();
   ASSERT_EQ(jobs.size(), 1u);
-  EXPECT_TRUE(jobs[0].config.inject_failures);
+  EXPECT_TRUE(jobs[0].config.faults.crash.enabled);
   EXPECT_EQ(jobs[0].config.seed, 5u);
 }
 
@@ -253,10 +253,10 @@ TEST(ScenarioRegistryTest, FailureVariantsApplyTheScaledRegime) {
   for (const auto& job : jobs) {
     if (job.variant == "failures") {
       saw_failures = true;
-      EXPECT_TRUE(job.config.inject_failures);
+      EXPECT_TRUE(job.config.faults.crash.enabled);
     } else {
       saw_clean = true;
-      EXPECT_FALSE(job.config.inject_failures);
+      EXPECT_FALSE(job.config.faults.crash.enabled);
     }
   }
   EXPECT_TRUE(saw_failures);

@@ -59,7 +59,7 @@ TEST_P(FailureSweep, SurvivesTransientFailureChurn) {
   cfg.node_count = 16;
   cfg.zone_radius_m = 12.0;
   cfg.traffic.packets_per_node = 1;
-  cfg.inject_failures = true;
+  cfg.faults.crash.enabled = true;
   cfg.activity_horizon = sim::Duration::ms(300);
   cfg.seed = 3;
 
@@ -128,7 +128,7 @@ TEST(HeadlineComparison, FailuresIncreaseDelay) {
   cfg.seed = 13;
 
   const auto clean = run_experiment(cfg);
-  cfg.inject_failures = true;
+  cfg.faults.crash.enabled = true;
   cfg.activity_horizon = sim::Duration::ms(500);
   const auto faulty = run_experiment(cfg);
   ASSERT_GT(faulty.failures_injected, 0u);

@@ -95,10 +95,12 @@ TEST(RunnerTest, MobilityWithClusterThrows) {
 
 TEST(RunnerTest, FailureRunReportsInjections) {
   auto cfg = small_config(ProtocolKind::kSpms);
-  cfg.inject_failures = true;
+  cfg.faults.crash.enabled = true;
   cfg.activity_horizon = sim::Duration::ms(200);
   const auto r = run_experiment(cfg);
   EXPECT_GT(r.failures_injected, 0u);
+  EXPECT_EQ(r.failures_injected, r.fault_stats.node_downs);
+  EXPECT_GT(r.fault_stats.total_downtime_ms, 0.0);
   EXPECT_GT(r.delivery_ratio, 0.5);
 }
 

@@ -19,7 +19,7 @@ TEST(ScenarioTest, BuildsAllComponentsForSpms) {
   EXPECT_EQ(s.network().size(), 9u);
   EXPECT_NE(s.routing(), nullptr);
   EXPECT_EQ(s.protocol().name(), "SPMS");
-  EXPECT_EQ(s.failures(), nullptr);
+  EXPECT_EQ(s.faults(), nullptr);
   EXPECT_EQ(s.mobility(), nullptr);
   // 3x3 grid at 5 m pitch spans 10 m.
   EXPECT_DOUBLE_EQ(s.field_side_m(), 10.0);
@@ -52,15 +52,15 @@ TEST(ScenarioTest, StartThenRunDeliversTraffic) {
   EXPECT_EQ(s.collector().published(), 9u);
 }
 
-TEST(ScenarioTest, FailureInjectorWiredWhenConfigured) {
+TEST(ScenarioTest, FaultControllerWiredWhenConfigured) {
   auto cfg = tiny(ProtocolKind::kSpms);
-  cfg.inject_failures = true;
+  cfg.faults.crash.enabled = true;
   cfg.activity_horizon = sim::Duration::ms(300);
   Scenario s{cfg};
-  ASSERT_NE(s.failures(), nullptr);
+  ASSERT_NE(s.faults(), nullptr);
   s.start();
   s.run();
-  EXPECT_GT(s.failures()->failures_injected(), 0u);
+  EXPECT_GT(s.faults()->failures_injected(), 0u);
   // All repairs completed: network ends fully up.
   for (std::uint32_t i = 0; i < s.network().size(); ++i) {
     EXPECT_TRUE(s.network().is_up(net::NodeId{i}));

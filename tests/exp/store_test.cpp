@@ -66,11 +66,23 @@ RunResult awkward_result() {
   r.net_counters.dropped_sender_down = 7;
   r.net_counters.dropped_out_of_range = 8;
   r.net_counters.dropped_receiver_down = 9;
+  r.net_counters.dropped_link_fault = 17;
   r.dbf_total.rounds = 10;
   r.dbf_total.messages = 11;
   r.dbf_total.message_bytes = 12;
   r.dbf_total.energy_uj = 0.1 + 0.2;  // the canonical 0.30000000000000004
   r.dbf_total.converged = true;
+  r.fault_stats.fault_events = 21;
+  r.fault_stats.node_downs = 13;
+  r.fault_stats.node_repairs = 12;
+  r.fault_stats.permanent_deaths = 1;
+  r.fault_stats.max_concurrent_down = 4;
+  r.fault_stats.total_downtime_ms = 123.45000000000002;
+  r.fault_stats.outage_time_ms = 98.7;
+  r.fault_stats.deliveries_during_outage = 222;
+  r.fault_stats.recoveries_sampled = 11;
+  r.fault_stats.mean_recovery_latency_ms = 2.0 / 7.0;
+  r.fault_stats.repairs_unrecovered = 1;
   r.failures_injected = 13;
   r.mobility_epochs = 14;
   r.given_up = 15;
@@ -107,6 +119,18 @@ void expect_bit_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.net_counters.dropped_sender_down, b.net_counters.dropped_sender_down);
   EXPECT_EQ(a.net_counters.dropped_out_of_range, b.net_counters.dropped_out_of_range);
   EXPECT_EQ(a.net_counters.dropped_receiver_down, b.net_counters.dropped_receiver_down);
+  EXPECT_EQ(a.net_counters.dropped_link_fault, b.net_counters.dropped_link_fault);
+  EXPECT_EQ(a.fault_stats.fault_events, b.fault_stats.fault_events);
+  EXPECT_EQ(a.fault_stats.node_downs, b.fault_stats.node_downs);
+  EXPECT_EQ(a.fault_stats.node_repairs, b.fault_stats.node_repairs);
+  EXPECT_EQ(a.fault_stats.permanent_deaths, b.fault_stats.permanent_deaths);
+  EXPECT_EQ(a.fault_stats.max_concurrent_down, b.fault_stats.max_concurrent_down);
+  EXPECT_EQ(a.fault_stats.total_downtime_ms, b.fault_stats.total_downtime_ms);
+  EXPECT_EQ(a.fault_stats.outage_time_ms, b.fault_stats.outage_time_ms);
+  EXPECT_EQ(a.fault_stats.deliveries_during_outage, b.fault_stats.deliveries_during_outage);
+  EXPECT_EQ(a.fault_stats.recoveries_sampled, b.fault_stats.recoveries_sampled);
+  EXPECT_EQ(a.fault_stats.mean_recovery_latency_ms, b.fault_stats.mean_recovery_latency_ms);
+  EXPECT_EQ(a.fault_stats.repairs_unrecovered, b.fault_stats.repairs_unrecovered);
   EXPECT_EQ(a.dbf_total.rounds, b.dbf_total.rounds);
   EXPECT_EQ(a.dbf_total.messages, b.dbf_total.messages);
   EXPECT_EQ(a.dbf_total.message_bytes, b.dbf_total.message_bytes);
@@ -164,14 +188,23 @@ TEST(CanonicalTest, KeyReactsToEveryKindOfKnob) {
   keys.insert(mutated_key([](auto& c) { c.spms_ext.num_scones = 2; }));
   keys.insert(mutated_key([](auto& c) { c.traffic.packets_per_node += 1; }));
   keys.insert(mutated_key([](auto& c) { c.dbf.charge_energy = false; }));
-  keys.insert(mutated_key([](auto& c) { c.inject_failures = true; }));
-  keys.insert(mutated_key([](auto& c) { c.failure.repair_max = sim::Duration::ms(16.0); }));
+  keys.insert(mutated_key([](auto& c) { c.faults.crash.enabled = true; }));
+  keys.insert(
+      mutated_key([](auto& c) { c.faults.crash.repair_max = sim::Duration::ms(16.0); }));
+  keys.insert(mutated_key([](auto& c) { c.faults.region.enabled = true; }));
+  keys.insert(mutated_key([](auto& c) { c.faults.region.radius_m = 11.0; }));
+  keys.insert(mutated_key([](auto& c) { c.faults.battery.enabled = true; }));
+  keys.insert(mutated_key([](auto& c) { c.faults.battery.death_fraction = 0.2; }));
+  keys.insert(mutated_key([](auto& c) { c.faults.link.enabled = true; }));
+  keys.insert(mutated_key([](auto& c) { c.faults.link.drop_end = 0.5; }));
+  keys.insert(mutated_key([](auto& c) { c.faults.sink_churn.enabled = true; }));
+  keys.insert(mutated_key([](auto& c) { c.faults.sink_churn.hops = 3; }));
   keys.insert(mutated_key([](auto& c) { c.mobility = true; }));
   keys.insert(mutated_key([](auto& c) { c.mobility_params.move_fraction = 0.2; }));
   keys.insert(mutated_key([](auto& c) { c.cluster_p_other = 0.06; }));
   keys.insert(mutated_key([](auto& c) { c.activity_horizon = sim::Duration::ms(101.0); }));
   keys.insert(mutated_key([](auto& c) { c.max_events = 1; }));
-  EXPECT_EQ(keys.size(), 22u) << "some mutation did not change the config key";
+  EXPECT_EQ(keys.size(), 30u) << "some mutation did not change the config key";
 }
 
 TEST(CanonicalTest, ResultRoundTripsBitExactly) {
@@ -252,7 +285,8 @@ TEST_F(StoreTest, SkipsCorruptAndForeignLinesButKeepsTheRest) {
         << "\n";  // key does not hash from config
     std::string foreign = make_record_line(config_key(cfg), canonical_config_json(cfg),
                                            result_to_json(awkward_result()));
-    foreign.replace(foreign.find("\"schema\":1"), 10, "\"schema\":0");
+    const std::string current = "\"schema\":" + std::to_string(kSchemaVersion);
+    foreign.replace(foreign.find(current), current.size(), "\"schema\":0");
     out << foreign << "\n";
   }
   ResultStore store{dir};
@@ -333,6 +367,51 @@ TEST_F(StoreTest, MergeUnionsDisjointAndOverlappingStores) {
   reloaded.load();
   EXPECT_EQ(reloaded.size(), 2u);
   EXPECT_TRUE(reloaded.find(config_key(only_b), canonical_config_json(only_b)).has_value());
+}
+
+TEST_F(StoreTest, InventoryReportsScenariosSchemasAndCorruption) {
+  const auto dir = temp_dir();
+  ExperimentConfig a;
+  a.label = "figX/SPMS/n16/r12/s1";
+  ExperimentConfig b = a;
+  b.label = "figX/SPMS/n16/r12/s2";
+  b.seed = 2;
+  ExperimentConfig c;
+  c.label = "faults-smoke/SPMS/n16/r12/crash/s1";
+  ExperimentConfig unlabeled;  // single-run config: empty label
+  {
+    ResultStore store{dir};
+    const auto with_label = [&](const ExperimentConfig& cfg) {
+      RunResult r = awkward_result();
+      r.label = cfg.label;
+      store.put(config_key(cfg), canonical_config_json(cfg), r);
+    };
+    with_label(a);
+    with_label(b);
+    with_label(b);  // duplicate key: must count once
+    with_label(c);
+    with_label(unlabeled);
+  }
+  {
+    // One corrupt line and one foreign-schema line.
+    std::ofstream out{dir / "results.jsonl", std::ios::app};
+    out << "garbage\n";
+    std::string foreign = make_record_line(config_key(a), canonical_config_json(a),
+                                           result_to_json(awkward_result()));
+    const std::string current = "\"schema\":" + std::to_string(kSchemaVersion);
+    foreign.replace(foreign.find(current), current.size(), "\"schema\":1");
+    out << foreign << "\n";
+  }
+  ResultStore store{dir};
+  const auto inv = store.inventory();
+  EXPECT_EQ(inv.files, 1u);
+  EXPECT_EQ(inv.total_lines, 7u);
+  EXPECT_EQ(inv.corrupt_lines, 1u);
+  EXPECT_EQ(inv.schema_lines.at(kSchemaVersion), 5u);
+  EXPECT_EQ(inv.schema_lines.at(1), 1u);
+  EXPECT_EQ(inv.scenarios.at("figX"), 2u);
+  EXPECT_EQ(inv.scenarios.at("faults-smoke"), 1u);
+  EXPECT_EQ(inv.scenarios.at("(unlabeled)"), 1u);
 }
 
 // --- BatchRunner integration -------------------------------------------------

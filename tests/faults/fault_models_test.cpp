@@ -1,0 +1,282 @@
+#include "faults/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "faults/controller.hpp"
+#include "net/failure.hpp"
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+
+/// Fault-subsystem invariants: ref-counted composition of overlapping
+/// faults, permanent deaths beating repairs, model-specific targeting
+/// (disks, k-hop neighborhoods, victim fractions), per-model RNG sub-stream
+/// independence, and the at-or-after-horizon initiation boundary.
+
+namespace spms::faults {
+namespace {
+
+net::MacParams quiet_mac() {
+  net::MacParams mac;
+  mac.num_slots = 1;
+  mac.contention_g_ms = 0.0;
+  return mac;
+}
+
+struct Harness {
+  explicit Harness(std::size_t side = 4, std::uint64_t seed = 9)
+      : sim(seed),
+        net(sim, net::RadioTable::mica2(), quiet_mac(), {}, net::grid_deployment(side, 5.0),
+            20.0) {}
+  sim::Simulation sim;
+  net::Network net;
+};
+
+bool all_up(const net::Network& net) {
+  for (std::uint32_t i = 0; i < net.size(); ++i) {
+    if (!net.is_up(net::NodeId{i})) return false;
+  }
+  return true;
+}
+
+std::size_t down_count(const net::Network& net) {
+  std::size_t n = 0;
+  for (std::uint32_t i = 0; i < net.size(); ++i) {
+    if (!net.is_up(net::NodeId{i})) ++n;
+  }
+  return n;
+}
+
+TEST(FaultControllerTest, OverlappingFaultWindowsRepairOnlyWhenAllClose) {
+  Harness h;
+  FaultController ctrl(h.sim, h.net, {}, net::NodeId{0});
+  const net::NodeId id{3};
+  ctrl.fail(id);  // model A's window opens
+  EXPECT_FALSE(h.net.is_up(id));
+  ctrl.fail(id);  // model B's window overlaps
+  ctrl.repair(id);
+  EXPECT_FALSE(h.net.is_up(id)) << "one window still open";
+  ctrl.repair(id);
+  EXPECT_TRUE(h.net.is_up(id));
+  // The observer saw exactly one down and one up transition.
+  EXPECT_EQ(ctrl.stats().node_downs, 1u);
+  EXPECT_EQ(ctrl.stats().node_repairs, 1u);
+}
+
+TEST(FaultControllerTest, PermanentDeathWinsOverAnyRepair) {
+  Harness h;
+  FaultController ctrl(h.sim, h.net, {}, net::NodeId{0});
+  const net::NodeId id{5};
+  ctrl.fail(id);
+  ctrl.kill(id);
+  ctrl.repair(id);  // the transient window closes, but the node stays dead
+  EXPECT_FALSE(h.net.is_up(id));
+  EXPECT_TRUE(ctrl.permanently_dead(id));
+  EXPECT_EQ(ctrl.stats().permanent_deaths, 1u);
+  EXPECT_EQ(ctrl.stats().node_repairs, 0u);
+}
+
+TEST(FaultControllerTest, CrashOnlyPlanMatchesLegacyFailureInjectorTimeline) {
+  // The refactor contract: a crash-only FaultPlan reproduces
+  // net::FailureInjector's event timeline exactly (same stream, same draw
+  // order), so every pre-existing failure figure is unchanged.
+  const auto horizon = sim::TimePoint::at(sim::Duration::ms(500));
+
+  Harness legacy(4, 9);
+  net::FailureInjector injector(legacy.sim, legacy.net, {});
+  injector.start(horizon);
+  legacy.sim.run();
+
+  Harness modern(4, 9);
+  FaultPlan plan;
+  plan.crash.enabled = true;
+  FaultController ctrl(modern.sim, modern.net, plan, net::NodeId{0});
+  ctrl.start(horizon);
+  modern.sim.run();
+
+  EXPECT_GT(ctrl.stats().node_downs, 0u);
+  EXPECT_EQ(ctrl.stats().node_downs, injector.failures_injected());
+  EXPECT_TRUE(all_up(modern.net));
+}
+
+TEST(RegionOutageTest, BlackoutsTakeDisksDownTogetherAndRestoreThem) {
+  Harness h(5, 21);
+  FaultPlan plan;
+  plan.region.enabled = true;
+  plan.region.mean_time_between_outages = sim::Duration::ms(40.0);
+  plan.region.radius_m = 8.0;
+  plan.region.repair_min = sim::Duration::ms(10.0);
+  plan.region.repair_max = sim::Duration::ms(20.0);
+  FaultController ctrl(h.sim, h.net, plan, net::NodeId{0});
+
+  // Sample the largest concurrent-down count right after each blackout.
+  ctrl.start(sim::TimePoint::at(sim::Duration::ms(400)));
+  h.sim.run();
+  ctrl.finalize();
+
+  const auto& stats = ctrl.stats();
+  ASSERT_GT(stats.fault_events, 0u);
+  // An 8 m disk on the 5 m grid always covers several nodes.
+  EXPECT_GT(stats.node_downs, stats.fault_events);
+  EXPECT_GT(stats.max_concurrent_down, 1u);
+  EXPECT_EQ(stats.node_downs, stats.node_repairs) << "regions must restore completely";
+  EXPECT_TRUE(all_up(h.net));
+  // Every logged event carries the disk size.
+  for (const auto& e : ctrl.observer().events()) {
+    EXPECT_EQ(e.model, "region");
+    EXPECT_GE(e.nodes_affected, 2u);
+  }
+}
+
+TEST(BatteryDepletionTest, KillsTheConfiguredFractionPermanently) {
+  Harness h(4, 33);  // 16 nodes
+  FaultPlan plan;
+  plan.battery.enabled = true;
+  plan.battery.death_fraction = 0.25;
+  FaultController ctrl(h.sim, h.net, plan, net::NodeId{0});
+  ctrl.start(sim::TimePoint::at(sim::Duration::ms(100)));
+  h.sim.run();
+  ctrl.finalize();
+
+  EXPECT_EQ(ctrl.stats().permanent_deaths, 4u);
+  EXPECT_EQ(ctrl.stats().node_repairs, 0u);
+  EXPECT_EQ(down_count(h.net), 4u);
+  const auto* battery = dynamic_cast<BatteryDepletionModel*>(ctrl.model("battery"));
+  ASSERT_NE(battery, nullptr);
+  EXPECT_EQ(battery->victims().size(), 4u);
+  for (const auto v : battery->victims()) {
+    EXPECT_FALSE(h.net.is_up(v));
+    EXPECT_TRUE(ctrl.permanently_dead(v));
+  }
+}
+
+TEST(BatteryDepletionTest, AtLeastOneVictimForTinyFractions) {
+  Harness h;
+  FaultPlan plan;
+  plan.battery.enabled = true;
+  plan.battery.death_fraction = 0.001;  // rounds to 0, clamped to 1
+  FaultController ctrl(h.sim, h.net, plan, net::NodeId{0});
+  ctrl.start(sim::TimePoint::at(sim::Duration::ms(100)));
+  h.sim.run();
+  EXPECT_EQ(ctrl.stats().permanent_deaths, 1u);
+}
+
+TEST(SinkChurnTest, TargetsExactlyTheKHopNeighborhood) {
+  Harness h(5, 11);  // 5x5 grid, pitch 5 m
+  FaultPlan plan;
+  plan.sink_churn.enabled = true;
+  plan.sink_churn.hops = 1;
+  const net::NodeId sink{12};  // grid centre
+  FaultController ctrl(h.sim, h.net, plan, sink);
+  ctrl.start(sim::TimePoint::at(sim::Duration::ms(200)));
+
+  const auto* churn = dynamic_cast<SinkChurnModel*>(ctrl.model("sink-churn"));
+  ASSERT_NE(churn, nullptr);
+  const auto expected = h.net.neighbors_within(sink, h.net.zone_radius());
+  const std::set<std::uint32_t> expected_ids = [&] {
+    std::set<std::uint32_t> s;
+    for (const auto id : expected) s.insert(id.v);
+    return s;
+  }();
+  ASSERT_FALSE(churn->targets().empty());
+  std::set<std::uint32_t> target_ids;
+  for (const auto id : churn->targets()) target_ids.insert(id.v);
+  EXPECT_EQ(target_ids, expected_ids);
+  EXPECT_EQ(target_ids.count(sink.v), 0u) << "the sink itself is never churned";
+
+  h.sim.run();
+  ctrl.finalize();
+  EXPECT_GT(ctrl.stats().node_downs, 0u);
+  EXPECT_TRUE(all_up(h.net));
+}
+
+TEST(LinkDegradationTest, RampReachesDropEndAtHorizonAndHealsAfter) {
+  Harness h;
+  FaultPlan plan;
+  plan.link.enabled = true;
+  plan.link.drop_start = 0.1;
+  plan.link.drop_end = 0.5;
+  FaultController ctrl(h.sim, h.net, plan, net::NodeId{0});
+  const auto horizon = sim::TimePoint::at(sim::Duration::ms(100));
+  ctrl.start(horizon);
+  const auto* link = dynamic_cast<LinkDegradationModel*>(ctrl.model("link"));
+  ASSERT_NE(link, nullptr);
+  EXPECT_DOUBLE_EQ(link->drop_probability(sim::TimePoint::zero()), 0.1);
+  EXPECT_DOUBLE_EQ(link->drop_probability(sim::TimePoint::at(sim::Duration::ms(50))), 0.3);
+  EXPECT_DOUBLE_EQ(link->drop_probability(horizon), 0.0) << "healed at the horizon";
+  EXPECT_DOUBLE_EQ(link->drop_probability(sim::TimePoint::at(sim::Duration::ms(150))), 0.0);
+}
+
+/// Event times of one model, from the observer log.
+std::vector<sim::TimePoint> model_event_times(const FaultObserver& obs,
+                                              std::string_view model) {
+  std::vector<sim::TimePoint> times;
+  for (const auto& e : obs.events()) {
+    if (e.model == model) times.push_back(e.at);
+  }
+  return times;
+}
+
+TEST(StreamIndependenceTest, TogglingOneModelNeverPerturbsAnother) {
+  // Each model draws from its own forked sub-stream on its own schedule, so
+  // its initiation timeline is a pure function of that stream: region
+  // blackout instants with region alone == with crash+battery stacked on
+  // top, and vice versa for crash.
+  const auto horizon = sim::TimePoint::at(sim::Duration::ms(400));
+  const auto run_plan = [&](const FaultPlan& plan, std::string_view model) {
+    Harness h(4, 77);
+    FaultController ctrl(h.sim, h.net, plan, net::NodeId{0});
+    ctrl.start(horizon);
+    h.sim.run();
+    return model_event_times(ctrl.observer(), model);
+  };
+
+  FaultPlan region_only;
+  region_only.region.enabled = true;
+  region_only.region.mean_time_between_outages = sim::Duration::ms(60.0);
+
+  FaultPlan stacked = region_only;
+  stacked.crash.enabled = true;
+  stacked.battery.enabled = true;
+  stacked.battery.death_fraction = 0.2;
+
+  const auto region_alone = run_plan(region_only, "region");
+  const auto region_stacked = run_plan(stacked, "region");
+  ASSERT_FALSE(region_alone.empty());
+  EXPECT_EQ(region_alone, region_stacked);
+
+  FaultPlan crash_only;
+  crash_only.crash.enabled = true;
+  const auto crash_alone = run_plan(crash_only, "crash");
+  const auto crash_stacked = run_plan(stacked, "crash");
+  ASSERT_FALSE(crash_alone.empty());
+  EXPECT_EQ(crash_alone, crash_stacked);
+
+  // And the stream ids themselves are pairwise distinct.
+  const std::set<std::uint64_t> streams{kCrashStream, kRegionStream, kBatteryStream,
+                                        kLinkStream, kSinkChurnStream};
+  EXPECT_EQ(streams.size(), 5u);
+}
+
+TEST(HorizonBoundaryTest, ModelsNeverInitiateAtOrAfterTheHorizon) {
+  // Same construction as the FailureInjector regression, via the plan: aim
+  // the horizon exactly at the crash model's first failure instant.
+  sim::Simulation probe{13};
+  auto preview = probe.rng().fork(kCrashStream);
+  CrashRepairParams params;
+  const auto first_wait = preview.exponential(params.mean_time_between_failures);
+
+  Harness h(1, 13);
+  FaultPlan plan;
+  plan.crash.enabled = true;
+  FaultController ctrl(h.sim, h.net, plan, net::NodeId{0});
+  ctrl.start(h.sim.now() + first_wait);
+  h.sim.run();
+  EXPECT_EQ(ctrl.stats().node_downs, 0u);
+}
+
+}  // namespace
+}  // namespace spms::faults

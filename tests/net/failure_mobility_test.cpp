@@ -84,6 +84,29 @@ TEST(FailureInjectorTest, NoFailuresAfterZeroHorizon) {
   EXPECT_EQ(injector.failures_injected(), 0u);
 }
 
+TEST(FailureInjectorTest, FailureLandingExactlyOnTheHorizonIsNotInitiated) {
+  // Regression pin for the horizon boundary: the renewal must treat the
+  // horizon itself as past.  With a single node the injector's first draw is
+  // reproducible from the same fork, so we can aim the horizon exactly at
+  // the first failure instant.
+  sim::Simulation sim{9};
+  Network net(sim, RadioTable::mica2(), quiet_mac(), {}, {{0.0, 0.0}}, 20.0);
+  FailureParams params;
+  auto preview = sim.rng().fork(0xFA11);
+  const auto first_wait = preview.exponential(params.mean_time_between_failures);
+  FailureInjector injector(sim, net, params);
+  injector.start(sim.now() + first_wait);  // horizon == first failure instant
+  sim.run();
+  EXPECT_EQ(injector.failures_injected(), 0u);
+  // One nanosecond later the same failure is strictly inside the horizon.
+  sim::Simulation sim2{9};
+  Network net2(sim2, RadioTable::mica2(), quiet_mac(), {}, {{0.0, 0.0}}, 20.0);
+  FailureInjector injector2(sim2, net2, params);
+  injector2.start(sim2.now() + first_wait + sim::Duration::nanos(1));
+  sim2.run();
+  EXPECT_GE(injector2.failures_injected(), 1u);
+}
+
 TEST(MobilityProcessTest, EpochsMoveTheConfiguredFraction) {
   Harness h;
   MobilityParams params;
