@@ -30,6 +30,7 @@
 ///
 /// Output formats: table (default), csv, json.
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -39,6 +40,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "exp/batch.hpp"
 #include "exp/runner.hpp"
@@ -54,21 +56,24 @@ using namespace spms;
   std::cerr
       << "usage: " << argv0 << " --scenario NAME [--seeds K] [--jobs N]\n"
          "       [--store DIR] [--no-cache] [--shard I/N] [--max-events N]\n"
-         "       [--format table|csv|json] [--per-seed] [--quiet]\n"
+         "       [--format table|csv|json|gnuplot] [--plot-x COL] [--plot-y COL]\n"
+         "       [--per-seed] [--quiet]\n"
          "   or: " << argv0 << " --list\n"
          "   or: " << argv0 << " merge DEST_STORE SRC_STORE...\n"
          "   or: " << argv0 << " store ls DIR\n"
+         "   or: " << argv0 << " store gc DIR [--dry-run] [--max-age-days N]\n"
          "   or: " << argv0
       << " [--protocol spms|spin|flood] [--nodes N] [--radius M] [--packets K]\n"
          "       [--pitch M] [--seed S] [--max-events N] [--failures] [--mobility]\n"
          "       [--region-outages] [--battery-deaths] [--link-degradation]\n"
-         "       [--sink-churn] [--cluster] [--sink] [--random-deployment]\n"
+         "       [--sink-churn] [--battery-capacity UJ] [--battery-hetero H]\n"
+         "       [--cluster] [--sink] [--random-deployment]\n"
          "       [--cross-zone TTL] [--relay-caching] [--scones N] [--rx-power MW]\n"
          "       [--paper-mac] [--format table|csv|json] [--csv]\n";
   std::exit(2);
 }
 
-enum class Format { kTable, kCsv, kJson };
+enum class Format { kTable, kCsv, kJson, kGnuplot };
 
 // Digits only: strtoul would silently wrap "-1" to 2^64-1.
 bool all_digits(const char* s) {
@@ -106,14 +111,27 @@ Format parse_format(const std::string& f, const char* argv0) {
   if (f == "table") return Format::kTable;
   if (f == "csv") return Format::kCsv;
   if (f == "json") return Format::kJson;
+  if (f == "gnuplot") return Format::kGnuplot;
   usage(argv0);
 }
 
-void print_formatted(const exp::Table& t, Format format) {
+/// Gnuplot emission context (scenario mode only).
+struct PlotOptions {
+  std::string title;
+  std::string x_col;  ///< empty: auto (nodes if it varies, else radius_m)
+  std::string y_col;  ///< empty: mean_delay_ms
+};
+
+void print_formatted(const exp::Table& t, Format format, const PlotOptions& plot = {}) {
   switch (format) {
     case Format::kTable: t.print(std::cout); break;
     case Format::kCsv: t.print_csv(std::cout); break;
     case Format::kJson: t.print_json(std::cout); break;
+    case Format::kGnuplot:
+      // The caller resolves the axis defaults (it knows which deployment
+      // axis the sweep varies); see run_scenario_mode.
+      t.print_gnuplot(std::cout, plot.title, plot.x_col, plot.y_col);
+      break;
   }
 }
 
@@ -166,7 +184,46 @@ int merge_stores(int argc, char** argv) {
   return 0;
 }
 
+int store_gc(int argc, char** argv) {
+  // `store gc DIR [--dry-run] [--max-age-days N]`: evict stale lines.
+  if (argc < 4) usage(argv[0]);
+  const char* dir = argv[3];
+  exp::store::GcOptions options;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dry-run") {
+      options.dry_run = true;
+    } else if (arg == "--max-age-days") {
+      if (i + 1 >= argc) usage(argv[0]);
+      const double days = parse_double(argv[++i], argv[0]);
+      if (days < 0.0) usage(argv[0]);
+      options.max_age_days = days;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (!std::filesystem::is_directory(dir)) {
+    std::cerr << "store gc: '" << dir << "' is not a store directory\n";
+    return 2;
+  }
+  exp::store::GcReport report;
+  try {
+    exp::store::ResultStore store{dir};
+    report = store.gc(options);
+  } catch (const std::exception& e) {
+    std::cerr << "store gc: " << e.what() << "\n";
+    return 2;
+  }
+  std::cerr << dir << (report.dry_run ? " (dry run): would keep " : ": kept ") << report.kept
+            << " record(s) across " << report.files << " file(s); "
+            << (report.dry_run ? "would evict " : "evicted ") << report.evicted_schema
+            << " foreign-schema line(s), " << report.evicted_age << " aged-out line(s), "
+            << report.dropped_corrupt << " corrupt line(s)\n";
+  return 0;
+}
+
 int store_mode(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[2], "gc") == 0) return store_gc(argc, argv);
   // `store ls DIR`: introspection without loading the store into a run.
   if (argc != 4 || std::strcmp(argv[2], "ls") != 0) usage(argv[0]);
   if (!std::filesystem::is_directory(argv[3])) {
@@ -229,13 +286,40 @@ struct ScenarioOptions {
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
   std::size_t max_events = 0;
+  std::string plot_x;  ///< --plot-x: gnuplot abscissa column (default: auto)
+  std::string plot_y;  ///< --plot-y: gnuplot ordinate column
 };
+
+/// Table headers of scenario mode, shared by the table builders below and
+/// the pre-sweep --plot-x/--plot-y validation (a typo must fail before the
+/// sweep pays for itself, not after).
+const std::vector<std::string> kPerSeedHeaders = {
+    "protocol", "nodes", "radius_m", "variant", "seed", "delivery", "mean_delay_ms",
+    "p95_delay_ms", "max_delay_ms", "uj_per_pkt_proto", "uj_per_pkt_total", "failures",
+    "dead", "first_death_ms", "res_gini", "given_up", "events"};
+const std::vector<std::string> kAggregateHeaders = {
+    "protocol", "nodes", "radius_m", "variant", "seeds", "delivery", "mean_delay_ms",
+    "delay_sd", "p95_delay_ms", "uj_per_pkt_proto", "energy_sd", "uj_per_pkt_total",
+    "dead", "first_death_ms", "half_life_ms", "res_gini", "given_up"};
 
 int run_scenario_mode(const std::string& name, const ScenarioOptions& opt) {
   const auto* info = exp::find_scenario(name);
   if (info == nullptr) {
     std::cerr << "unknown scenario '" << name << "'; --list shows the registry\n";
     return 2;
+  }
+  if (opt.format == Format::kGnuplot) {
+    const auto& headers = opt.per_seed ? kPerSeedHeaders : kAggregateHeaders;
+    for (const auto* col : {&opt.plot_x, &opt.plot_y}) {
+      if (!col->empty() &&
+          std::find(headers.begin(), headers.end(), *col) == headers.end()) {
+        std::cerr << "--plot-" << (col == &opt.plot_x ? 'x' : 'y') << ' ' << *col
+                  << ": no such column; available:";
+        for (const auto& h : headers) std::cerr << ' ' << h;
+        std::cerr << "\n";
+        return 2;
+      }
+    }
   }
   auto spec = info->make();
   if (opt.seeds > 0) spec.use_consecutive_seeds(opt.seeds);
@@ -287,10 +371,27 @@ int run_scenario_mode(const std::string& name, const ScenarioOptions& opt) {
               << (opt.jobs == 0 ? exp::default_jobs() : opt.jobs) << " workers)\n";
   }
 
+  // Gnuplot axis defaults: x is whichever deployment axis the sweep varies
+  // (nodes, then radius); a variant-only sweep (the lifetime-* family's
+  // budget/heterogeneity axes) falls back to the variant as a category
+  // axis.  y is the paper's headline delay metric.
+  PlotOptions plot;
+  plot.title = name;
+  plot.x_col = opt.plot_x;
+  plot.y_col = opt.plot_y.empty() ? "mean_delay_ms" : opt.plot_y;
+  if (plot.x_col.empty()) {
+    bool nodes_vary = false;
+    bool radii_vary = false;
+    for (const auto& p : batch.points()) {  // empty batch (distant shard): any x works
+      const auto& first = batch.points().front();
+      if (p.node_count != first.node_count) nodes_vary = true;
+      if (p.zone_radius_m != first.zone_radius_m) radii_vary = true;
+    }
+    plot.x_col = nodes_vary ? "nodes" : radii_vary ? "radius_m" : "variant";
+  }
+
   if (opt.per_seed) {
-    exp::Table t({"protocol", "nodes", "radius_m", "variant", "seed", "delivery",
-                  "mean_delay_ms", "p95_delay_ms", "max_delay_ms", "uj_per_pkt_proto",
-                  "uj_per_pkt_total", "failures", "given_up", "events"});
+    exp::Table t(kPerSeedHeaders);
     for (std::size_t i = 0; i < batch.runs().size(); ++i) {
       const auto& job = batch.jobs()[i];
       const auto& r = batch.runs()[i];
@@ -299,14 +400,15 @@ int run_scenario_mode(const std::string& name, const ScenarioOptions& opt) {
                  exp::fmt(r.delivery_ratio, 6), exp::fmt(r.mean_delay_ms, 6),
                  exp::fmt(r.p95_delay_ms, 6), exp::fmt(r.max_delay_ms, 6),
                  exp::fmt(r.protocol_energy_per_item_uj, 6), exp::fmt(r.energy_per_item_uj, 6),
-                 std::to_string(r.failures_injected), std::to_string(r.given_up),
+                 std::to_string(r.failures_injected),
+                 std::to_string(r.fault_stats.permanent_deaths),
+                 exp::fmt(r.fault_stats.time_to_first_death_ms, 3),
+                 exp::fmt(r.battery.residual_gini, 6), std::to_string(r.given_up),
                  std::to_string(r.events_executed)});
     }
-    print_formatted(t, opt.format);
+    print_formatted(t, opt.format, plot);
   } else {
-    exp::Table t({"protocol", "nodes", "radius_m", "variant", "seeds", "delivery",
-                  "mean_delay_ms", "delay_sd", "p95_delay_ms", "uj_per_pkt_proto",
-                  "energy_sd", "uj_per_pkt_total", "given_up"});
+    exp::Table t(kAggregateHeaders);
     for (const auto& p : batch.points()) {
       const auto& s = p.stats;
       t.add_row({s.protocol, std::to_string(s.nodes), exp::fmt(s.zone_radius_m, 1),
@@ -315,9 +417,13 @@ int run_scenario_mode(const std::string& name, const ScenarioOptions& opt) {
                  exp::fmt(s.mean_delay_ms.stddev, 3), exp::fmt(s.p95_delay_ms.mean, 3),
                  exp::fmt(s.protocol_energy_per_item_uj.mean, 3),
                  exp::fmt(s.protocol_energy_per_item_uj.stddev, 3),
-                 exp::fmt(s.energy_per_item_uj.mean, 3), exp::fmt(s.given_up.mean, 1)});
+                 exp::fmt(s.energy_per_item_uj.mean, 3),
+                 exp::fmt(s.fault_permanent_deaths.mean, 1),
+                 exp::fmt(s.time_to_first_death_ms.mean, 3),
+                 exp::fmt(s.half_life_ms.mean, 3), exp::fmt(s.residual_gini.mean, 4),
+                 exp::fmt(s.given_up.mean, 1)});
     }
-    print_formatted(t, opt.format);
+    print_formatted(t, opt.format, plot);
   }
 
   // A tripped event guard means a truncated, untrustworthy run (see
@@ -357,7 +463,7 @@ int main(int argc, char** argv) {
         arg != "--seeds" && arg != "--jobs" && arg != "--format" && arg != "--per-seed" &&
         arg != "--quiet" && arg != "--csv" && arg != "--help" && arg != "--store" &&
         arg != "--no-cache" && arg != "--shard" && arg != "--max-events" &&
-        single_flag.empty()) {
+        arg != "--plot-x" && arg != "--plot-y" && single_flag.empty()) {
       single_flag = arg;
     }
     const auto next = [&]() -> const char* {
@@ -391,6 +497,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--shard") {
       scenario_flag = arg;
       parse_shard(next(), sopt.shard_index, sopt.shard_count, argv[0]);
+    } else if (arg == "--plot-x") {
+      scenario_flag = arg;
+      sopt.plot_x = next();
+    } else if (arg == "--plot-y") {
+      scenario_flag = arg;
+      sopt.plot_y = next();
     } else if (arg == "--max-events") {
       // Valid in both modes: a runaway guard, not a grid knob.
       const std::size_t v = parse_size(next(), argv[0]);
@@ -429,6 +541,14 @@ int main(int argc, char** argv) {
       exp::scaled_link_degradation(cfg);
     } else if (arg == "--sink-churn") {
       exp::scaled_sink_churn(cfg);
+    } else if (arg == "--battery-capacity") {
+      const double uj = parse_double(next(), argv[0]);
+      if (uj <= 0.0) usage(argv[0]);
+      exp::energy_budget(cfg, uj, cfg.battery.heterogeneity);
+    } else if (arg == "--battery-hetero") {
+      const double h = parse_double(next(), argv[0]);
+      if (h < 0.0 || h >= 1.0) usage(argv[0]);
+      cfg.battery.heterogeneity = h;
     } else if (arg == "--mobility") {
       cfg.mobility = true;
       cfg.activity_horizon = sim::Duration::ms(2000);
@@ -475,6 +595,11 @@ int main(int argc, char** argv) {
                  "one config; see --help)\n";
     return 2;
   }
+  if (sopt.format == Format::kGnuplot) {
+    std::cerr << "--format gnuplot requires --scenario (a single run has no sweep axis "
+                 "to plot)\n";
+    return 2;
+  }
 
   const auto r = exp::run_experiment(cfg);
 
@@ -498,6 +623,11 @@ int main(int argc, char** argv) {
   t.add_row({"failures injected", std::to_string(r.failures_injected)});
   t.add_row({"fault events", std::to_string(r.fault_stats.fault_events)});
   t.add_row({"permanent deaths", std::to_string(r.fault_stats.permanent_deaths)});
+  t.add_row({"depleted batteries", std::to_string(r.battery.depleted_nodes)});
+  t.add_row({"time to first death (ms)", exp::fmt(r.fault_stats.time_to_first_death_ms, 3)});
+  t.add_row({"network half-life (ms)", exp::fmt(r.fault_stats.half_life_ms, 3)});
+  t.add_row({"residual energy mean (uJ)", exp::fmt(r.battery.residual_mean_uj, 3)});
+  t.add_row({"residual energy Gini", exp::fmt(r.battery.residual_gini, 4)});
   t.add_row({"node downtime (ms)", exp::fmt(r.fault_stats.total_downtime_ms, 1)});
   t.add_row({"mean recovery latency (ms)",
              exp::fmt(r.fault_stats.mean_recovery_latency_ms, 3)});

@@ -51,6 +51,17 @@ AggregateResult aggregate(const std::vector<RunResult>& runs) {
       over(runs, [](const RunResult& r) { return r.fault_stats.permanent_deaths; });
   a.fault_outage_deliveries =
       over(runs, [](const RunResult& r) { return r.fault_stats.deliveries_during_outage; });
+  a.time_to_first_death_ms =
+      over(runs, [](const RunResult& r) { return r.fault_stats.time_to_first_death_ms; });
+  a.time_to_10pct_dead_ms =
+      over(runs, [](const RunResult& r) { return r.fault_stats.time_to_10pct_dead_ms; });
+  a.half_life_ms = over(runs, [](const RunResult& r) { return r.fault_stats.half_life_ms; });
+  a.depleted_nodes = over(runs, [](const RunResult& r) { return r.battery.depleted_nodes; });
+  a.residual_mean_uj =
+      over(runs, [](const RunResult& r) { return r.battery.residual_mean_uj; });
+  a.residual_stddev_uj =
+      over(runs, [](const RunResult& r) { return r.battery.residual_stddev_uj; });
+  a.residual_gini = over(runs, [](const RunResult& r) { return r.battery.residual_gini; });
   return a;
 }
 

@@ -47,6 +47,17 @@ struct AggregateResult {
   stats::Aggregate fault_recovery_latency_ms;
   stats::Aggregate fault_permanent_deaths;
   stats::Aggregate fault_outage_deliveries;
+
+  // Network-lifetime metrics (finite-battery runs; the -1 "never happened"
+  // sentinel of FaultStats flows through, so means are only meaningful when
+  // every seed of the point reached the milestone).
+  stats::Aggregate time_to_first_death_ms;
+  stats::Aggregate time_to_10pct_dead_ms;
+  stats::Aggregate half_life_ms;
+  stats::Aggregate depleted_nodes;
+  stats::Aggregate residual_mean_uj;
+  stats::Aggregate residual_stddev_uj;
+  stats::Aggregate residual_gini;
 };
 
 /// Computes per-metric statistics across `runs` (typically one per seed).

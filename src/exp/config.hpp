@@ -56,6 +56,11 @@ struct ExperimentConfig {
   // --- substrate models (Table 1) --------------------------------------------
   net::MacParams mac;
   net::EnergyModelParams energy;
+  /// Finite-budget battery model (net/energy.hpp).  Default: the historical
+  /// infinite battery.  With `battery.finite` and `faults.battery.enabled`,
+  /// nodes that spend their charge die permanently through the fault layer —
+  /// the lifetime-* scenario family's regime.
+  net::BatteryParams battery;
   core::ProtocolParams proto;
   core::SpmsExtensions spms_ext;  ///< future-work extensions (off by default)
   core::TrafficParams traffic;

@@ -22,9 +22,12 @@ RunResult run_experiment(const ExperimentConfig& config) {
   r.delivery_ratio = col.delivery_ratio();
   r.mean_delay_ms = col.delay_ms().mean();
   r.max_delay_ms = col.delay_ms().max();
-  r.p95_delay_ms = col.delay_percentiles().p95();
+  // Guarded: quantile() over an empty sample is NaN by contract, and a run
+  // with zero deliveries (e.g. everything dead) must still serialize.
+  r.p95_delay_ms = col.delay_percentiles().count() > 0 ? col.delay_percentiles().p95() : 0.0;
 
   r.energy = s.network().energy();
+  r.battery = s.network().battery_summary();
   if (r.items_published > 0) {
     r.energy_per_item_uj = r.energy.total_uj() / static_cast<double>(r.items_published);
     r.protocol_energy_per_item_uj =

@@ -40,6 +40,12 @@ struct RunResult {
   double energy_per_item_uj = 0.0;           ///< total (incl. routing) / items
   double protocol_energy_per_item_uj = 0.0;  ///< dissemination traffic only
 
+  /// Residual-charge statistics of the finite-battery fleet at the end of
+  /// the run (all zeros with the default infinite battery).  Together with
+  /// fault_stats' time-to-first-death / half-life these are the
+  /// network-lifetime metrics of the lifetime-* scenarios.
+  net::BatterySummary battery;
+
   // Diagnostics.
   net::NetCounters net_counters;
   routing::DbfStats dbf_total;   ///< zeros for protocols without routing

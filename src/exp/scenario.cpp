@@ -33,7 +33,7 @@ Scenario::Scenario(const ExperimentConfig& config) : config_(config) {
 
   net_ = std::make_unique<net::Network>(*sim_, net::RadioTable::mica2(), config_.mac,
                                         config_.energy, std::move(positions),
-                                        config_.zone_radius_m);
+                                        config_.zone_radius_m, config_.battery);
 
   // The node nearest the field centre: sink of the kSink pattern, anchor of
   // the sink-churn fault model.
@@ -118,6 +118,10 @@ Scenario::Scenario(const ExperimentConfig& config) : config_(config) {
 void Scenario::start() {
   const auto horizon = sim_->now() + config_.activity_horizon;
   traffic_->start();
+  // Idle/sleep drain ticks until the horizon (a no-op for infinite
+  // batteries), after which the run drains to quiescence like any other
+  // activity-initiating process.
+  net_->start_idle_drain(horizon);
   if (faults_) faults_->start(horizon);
   if (mobility_) mobility_->start(horizon);
 }

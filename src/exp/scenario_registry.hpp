@@ -47,13 +47,20 @@ void scaled_failures(ExperimentConfig& cfg);
 
 /// The other fault models' scaled regimes for the faults-* campaign
 /// (EXPERIMENTS.md documents each): region blackouts every ~1.5 s over a
-/// 12 m disk, 10% permanent battery deaths, link drops ramping 0 → 25%,
-/// and crash churn confined to the sink's 2-hop neighborhood.  Each also
-/// stretches the activity horizon to the 6 s failure timescale.
+/// 12 m disk, energy-driven battery deaths on a finite budget sized so
+/// roughly a tenth of the reference fleet runs dry, link drops ramping
+/// 0 → 25%, and crash churn confined to the sink's 2-hop neighborhood.
+/// Each also stretches the activity horizon to the 6 s failure timescale.
 void scaled_region_outages(ExperimentConfig& cfg);
 void scaled_battery_depletion(ExperimentConfig& cfg);
 void scaled_link_degradation(ExperimentConfig& cfg);
 void scaled_sink_churn(ExperimentConfig& cfg);
+
+/// Arms the energy-coupled death path: finite per-node budget of
+/// `capacity_uj` (optionally heterogeneous), a small idle/sleep drain, and
+/// the fault layer's battery model so depletions become permanent deaths
+/// with lifetime metrics.  The building block of the lifetime-* family.
+void energy_budget(ExperimentConfig& cfg, double capacity_uj, double heterogeneity = 0.0);
 
 /// All five scaled regimes stacked — the worst-case composite plan.
 void scaled_stacked_faults(ExperimentConfig& cfg);

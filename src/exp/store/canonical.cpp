@@ -271,6 +271,11 @@ std::string canonical_config_json(const ExperimentConfig& c) {
   w.i64("mac.t_proc_ns", c.mac.t_proc.count_nanos());
   w.d("energy.rx_power_mw", c.energy.rx_power_mw);
   w.b("energy.charge_overhearing", c.energy.charge_overhearing);
+  w.b("battery.finite", c.battery.finite);
+  w.d("battery.capacity_uj", c.battery.capacity_uj);
+  w.d("battery.heterogeneity", c.battery.heterogeneity);
+  w.d("battery.idle_drain_mw", c.battery.idle_drain_mw);
+  w.i64("battery.idle_tick_ns", c.battery.idle_tick.count_nanos());
   w.u64("proto.adv_bytes", c.proto.adv_bytes);
   w.u64("proto.req_bytes", c.proto.req_bytes);
   w.u64("proto.data_bytes", c.proto.data_bytes);
@@ -301,7 +306,6 @@ std::string canonical_config_json(const ExperimentConfig& c) {
   w.i64("faults.region.repair_min_ns", f.region.repair_min.count_nanos());
   w.i64("faults.region.repair_max_ns", f.region.repair_max.count_nanos());
   w.b("faults.battery.enabled", f.battery.enabled);
-  w.d("faults.battery.death_fraction", f.battery.death_fraction);
   w.b("faults.link.enabled", f.link.enabled);
   w.d("faults.link.drop_start", f.link.drop_start);
   w.d("faults.link.drop_end", f.link.drop_end);
@@ -350,8 +354,16 @@ std::string result_to_json(const RunResult& r) {
   w.d("energy.protocol_rx_uj", r.energy.protocol_rx_uj);
   w.d("energy.routing_tx_uj", r.energy.routing_tx_uj);
   w.d("energy.routing_rx_uj", r.energy.routing_rx_uj);
+  w.d("energy.idle_uj", r.energy.idle_uj);
   w.d("energy_per_item_uj", r.energy_per_item_uj);
   w.d("protocol_energy_per_item_uj", r.protocol_energy_per_item_uj);
+  w.u64("battery.depleted_nodes", r.battery.depleted_nodes);
+  w.d("battery.initial_total_uj", r.battery.initial_total_uj);
+  w.d("battery.spent_total_uj", r.battery.spent_total_uj);
+  w.d("battery.residual_mean_uj", r.battery.residual_mean_uj);
+  w.d("battery.residual_stddev_uj", r.battery.residual_stddev_uj);
+  w.d("battery.residual_min_uj", r.battery.residual_min_uj);
+  w.d("battery.residual_gini", r.battery.residual_gini);
   w.u64("net.tx_adv", r.net_counters.tx_adv);
   w.u64("net.tx_req", r.net_counters.tx_req);
   w.u64("net.tx_data", r.net_counters.tx_data);
@@ -362,6 +374,7 @@ std::string result_to_json(const RunResult& r) {
   w.u64("net.dropped_out_of_range", r.net_counters.dropped_out_of_range);
   w.u64("net.dropped_receiver_down", r.net_counters.dropped_receiver_down);
   w.u64("net.dropped_link_fault", r.net_counters.dropped_link_fault);
+  w.u64("net.dropped_battery_dead", r.net_counters.dropped_battery_dead);
   w.u64("dbf.rounds", r.dbf_total.rounds);
   w.u64("dbf.messages", r.dbf_total.messages);
   w.u64("dbf.message_bytes", r.dbf_total.message_bytes);
@@ -378,6 +391,9 @@ std::string result_to_json(const RunResult& r) {
   w.u64("faults.recoveries_sampled", r.fault_stats.recoveries_sampled);
   w.d("faults.mean_recovery_latency_ms", r.fault_stats.mean_recovery_latency_ms);
   w.u64("faults.repairs_unrecovered", r.fault_stats.repairs_unrecovered);
+  w.d("faults.time_to_first_death_ms", r.fault_stats.time_to_first_death_ms);
+  w.d("faults.time_to_10pct_dead_ms", r.fault_stats.time_to_10pct_dead_ms);
+  w.d("faults.half_life_ms", r.fault_stats.half_life_ms);
   w.u64("failures_injected", r.failures_injected);
   w.u64("mobility_epochs", r.mobility_epochs);
   w.u64("given_up", r.given_up);
@@ -405,9 +421,21 @@ std::optional<RunResult> result_from_json(std::string_view json) {
     if (key == "energy.protocol_rx_uj") return parse_raw_double(raw, r.energy.protocol_rx_uj);
     if (key == "energy.routing_tx_uj") return parse_raw_double(raw, r.energy.routing_tx_uj);
     if (key == "energy.routing_rx_uj") return parse_raw_double(raw, r.energy.routing_rx_uj);
+    if (key == "energy.idle_uj") return parse_raw_double(raw, r.energy.idle_uj);
     if (key == "energy_per_item_uj") return parse_raw_double(raw, r.energy_per_item_uj);
     if (key == "protocol_energy_per_item_uj")
       return parse_raw_double(raw, r.protocol_energy_per_item_uj);
+    if (key == "battery.depleted_nodes") return parse_raw_int(raw, r.battery.depleted_nodes);
+    if (key == "battery.initial_total_uj")
+      return parse_raw_double(raw, r.battery.initial_total_uj);
+    if (key == "battery.spent_total_uj") return parse_raw_double(raw, r.battery.spent_total_uj);
+    if (key == "battery.residual_mean_uj")
+      return parse_raw_double(raw, r.battery.residual_mean_uj);
+    if (key == "battery.residual_stddev_uj")
+      return parse_raw_double(raw, r.battery.residual_stddev_uj);
+    if (key == "battery.residual_min_uj")
+      return parse_raw_double(raw, r.battery.residual_min_uj);
+    if (key == "battery.residual_gini") return parse_raw_double(raw, r.battery.residual_gini);
     if (key == "net.tx_adv") return parse_raw_int(raw, r.net_counters.tx_adv);
     if (key == "net.tx_req") return parse_raw_int(raw, r.net_counters.tx_req);
     if (key == "net.tx_data") return parse_raw_int(raw, r.net_counters.tx_data);
@@ -422,6 +450,8 @@ std::optional<RunResult> result_from_json(std::string_view json) {
       return parse_raw_int(raw, r.net_counters.dropped_receiver_down);
     if (key == "net.dropped_link_fault")
       return parse_raw_int(raw, r.net_counters.dropped_link_fault);
+    if (key == "net.dropped_battery_dead")
+      return parse_raw_int(raw, r.net_counters.dropped_battery_dead);
     if (key == "dbf.rounds") return parse_raw_int(raw, r.dbf_total.rounds);
     if (key == "dbf.messages") return parse_raw_int(raw, r.dbf_total.messages);
     if (key == "dbf.message_bytes") return parse_raw_int(raw, r.dbf_total.message_bytes);
@@ -446,6 +476,12 @@ std::optional<RunResult> result_from_json(std::string_view json) {
       return parse_raw_double(raw, r.fault_stats.mean_recovery_latency_ms);
     if (key == "faults.repairs_unrecovered")
       return parse_raw_int(raw, r.fault_stats.repairs_unrecovered);
+    if (key == "faults.time_to_first_death_ms")
+      return parse_raw_double(raw, r.fault_stats.time_to_first_death_ms);
+    if (key == "faults.time_to_10pct_dead_ms")
+      return parse_raw_double(raw, r.fault_stats.time_to_10pct_dead_ms);
+    if (key == "faults.half_life_ms")
+      return parse_raw_double(raw, r.fault_stats.half_life_ms);
     if (key == "failures_injected") return parse_raw_int(raw, r.failures_injected);
     if (key == "mobility_epochs") return parse_raw_int(raw, r.mobility_epochs);
     if (key == "given_up") return parse_raw_int(raw, r.given_up);

@@ -27,7 +27,12 @@ namespace spms::exp::store {
 /// matching — cache invalidation by schema version.
 /// v2: the failure block became the five-model faults.* plan and results
 /// grew the faults.* recovery metrics + net.dropped_link_fault.
-inline constexpr int kSchemaVersion = 2;
+/// v3: configs grew the battery.* finite-budget block (and the battery
+/// fault model lost its death_fraction — deaths are energy-driven now);
+/// results grew energy.idle_uj, net.dropped_battery_dead, the
+/// faults.time_to_* lifetime metrics, and the battery.* residual block.
+/// `store gc` evicts the stale v1/v2 lines.
+inline constexpr int kSchemaVersion = 3;
 
 /// Stable field-ordered JSON object describing `config` completely.
 [[nodiscard]] std::string canonical_config_json(const ExperimentConfig& config);

@@ -1,6 +1,8 @@
 #include "exp/store/result_store.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <ratio>
 #include <stdexcept>
 #include <vector>
 
@@ -145,6 +147,83 @@ StoreInventory ResultStore::inventory() const {
     ++inv.scenarios[scenario];
   }
   return inv;
+}
+
+GcReport ResultStore::gc(const GcOptions& options) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  GcReport report;
+  report.dry_run = options.dry_run;
+
+  const auto now = fs::file_time_type::clock::now();
+  std::map<std::string, Record> keep;     // current-schema survivors, deduplicated
+  std::vector<std::string> keep_foreign;  // raw foreign-schema lines (when not evicting)
+  for (const auto& file : jsonl_files(dir_)) {
+    ++report.files;
+    bool aged_out = false;
+    if (options.max_age_days) {
+      // JSONL lines carry no timestamps, so the file's mtime dates every
+      // line in it — a compacted store ages as one unit, shard files age
+      // individually.
+      const auto age = now - fs::last_write_time(file);
+      const double days =
+          std::chrono::duration<double, std::ratio<86400>>(age).count();
+      aged_out = days > *options.max_age_days;
+    }
+    std::ifstream in{file};
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      const auto rec = parse_record_line(line);
+      if (!rec) {
+        ++report.dropped_corrupt;
+        continue;
+      }
+      if (rec->schema != kSchemaVersion) {
+        if (options.evict_foreign_schema) {
+          ++report.evicted_schema;
+        } else {
+          keep_foreign.push_back(line);
+        }
+        continue;
+      }
+      if (key_for_canonical(rec->config_json) != rec->key) {
+        ++report.dropped_corrupt;
+        continue;
+      }
+      auto result = result_from_json(rec->result_json);
+      if (!result) {
+        ++report.dropped_corrupt;
+        continue;
+      }
+      if (aged_out) {
+        ++report.evicted_age;
+        continue;
+      }
+      keep.insert_or_assign(rec->key, Record{std::move(rec->config_json), *std::move(result)});
+    }
+  }
+  report.kept = keep.size() + keep_foreign.size();
+  if (options.dry_run) return report;
+
+  // Rewrite like compact(): tmp file, atomic rename, then drop siblings.
+  out_.close();
+  const fs::path tmp = dir_ / "results.jsonl.tmp";
+  {
+    std::ofstream out{tmp, std::ios::trunc};
+    for (const auto& [key, rec] : keep) {
+      out << make_record_line(key, rec.config, result_to_json(rec.result)) << '\n';
+    }
+    for (const auto& raw : keep_foreign) out << raw << '\n';
+    out.flush();
+    if (!out) throw std::runtime_error{"ResultStore: cannot write " + tmp.string()};
+  }
+  fs::rename(tmp, dir_ / kResultsFile);
+  for (const auto& file : jsonl_files(dir_)) {
+    if (file.filename() != kResultsFile) fs::remove(file);
+  }
+  records_ = std::move(keep);
+  corrupt_ = 0;
+  return report;
 }
 
 void ResultStore::compact() {

@@ -29,6 +29,33 @@
 
 namespace spms::exp::store {
 
+/// Eviction policy of ResultStore::gc.
+struct GcOptions {
+  /// Evict parseable record lines whose schema version differs from
+  /// kSchemaVersion (stale v1/v2 cache entries: invisible to load() but
+  /// still occupying disk).  Corrupt lines are always dropped by a live gc.
+  bool evict_foreign_schema = true;
+
+  /// When set, additionally evict current-schema records from files whose
+  /// last-write time is older than this many days (line granularity is
+  /// file granularity: JSONL lines carry no timestamps, so a file's mtime
+  /// dates every line in it).  unset = no age eviction.
+  std::optional<double> max_age_days;
+
+  /// Report what would be evicted without rewriting anything.
+  bool dry_run = false;
+};
+
+/// What ResultStore::gc did (or, under dry_run, would do).
+struct GcReport {
+  std::size_t files = 0;           ///< *.jsonl files scanned
+  std::size_t kept = 0;            ///< record lines surviving
+  std::size_t evicted_schema = 0;  ///< foreign-schema lines evicted
+  std::size_t evicted_age = 0;     ///< current-schema lines evicted by age
+  std::size_t dropped_corrupt = 0; ///< unparseable/mismatched lines dropped
+  bool dry_run = false;
+};
+
 /// What a store directory holds, by scenario and schema version — the
 /// `run_experiment_cli store ls` introspection view.  Produced by scanning
 /// the disk files directly, so foreign-schema records (invisible to load())
@@ -85,6 +112,14 @@ class ResultStore {
   /// Scans the directory's files and summarizes them (see StoreInventory).
   /// Reads disk only; the in-memory view is untouched.
   [[nodiscard]] StoreInventory inventory() const;
+
+  /// Evicts stale lines per `options`: foreign-schema records (the v1/v2
+  /// leftovers a schema bump orphans), optionally whole files' worth of
+  /// current-schema records older than max_age_days, and — on a live run —
+  /// corrupt lines.  A live gc rewrites the directory like compact()
+  /// (crash-safe rename, key-sorted, deduplicated) and refreshes the
+  /// in-memory view from the survivors; a dry run only counts.
+  GcReport gc(const GcOptions& options);
 
   /// Rewrites the whole store as a single `results.jsonl`, key-sorted, one
   /// record per key, dropping corrupt lines and superseded duplicates.

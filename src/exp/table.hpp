@@ -29,7 +29,25 @@ class Table {
   /// parse fully as numbers are emitted bare; everything else is a string.
   void print_json(std::ostream& os) const;
 
+  /// Emits a self-contained gnuplot script: one inline datablock per series
+  /// plus a `plot` command of `y_col` against `x_col` — figure sweeps render
+  /// with `run_experiment_cli --format gnuplot ... | gnuplot` and no
+  /// hand-written scripts.  A series is one distinct combination of the
+  /// non-numeric columns (protocol, variant, …); a non-numeric `x_col`
+  /// (e.g. "variant" for a budget sweep) plots as a category axis via
+  /// xtic labels; every column rides along in the datablocks with a
+  /// commented header, so editing the script to plot a different metric is
+  /// a one-line change.  A rowless table emits a valid no-op script.
+  /// \throws std::invalid_argument when x_col/y_col is not a header.
+  void print_gnuplot(std::ostream& os, const std::string& title, const std::string& x_col,
+                     const std::string& y_col) const;
+
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const { return headers_; }
+
+  /// True when every row's cell in `column` parses as a bare JSON number —
+  /// the same test the JSON emitter applies (used to pick plottable axes).
+  [[nodiscard]] bool column_is_numeric(const std::string& column) const;
 
  private:
   std::vector<std::string> headers_;

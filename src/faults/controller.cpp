@@ -44,6 +44,7 @@ FaultController::~FaultController() {
   // member order, and the closures capture `this` / the models.
   net_.set_on_state_change(nullptr);
   net_.set_link_fault(nullptr);
+  net_.set_on_depleted(nullptr);
 }
 
 void FaultController::start(sim::TimePoint horizon) {
@@ -75,7 +76,7 @@ void FaultController::repair(net::NodeId id) {
 void FaultController::kill(net::NodeId id) {
   if (permanent_[id.v]) return;
   permanent_[id.v] = true;
-  observer_.on_permanent_death(id);
+  observer_.on_permanent_death(id, sim_.now());
   net_.set_up(id, false);
 }
 

@@ -87,30 +87,17 @@ BatteryDepletionModel::BatteryDepletionModel(FaultController& ctrl,
     : ctrl_(ctrl), params_(params), rng_(rng) {}
 
 void BatteryDepletionModel::start(sim::TimePoint horizon) {
-  auto& sim = ctrl_.simulation();
-  auto& net = ctrl_.network();
-  const auto n = net.size();
-  std::size_t count = 0;
-  if (params_.death_fraction > 0.0) {
-    count = static_cast<std::size_t>(
-        std::llround(params_.death_fraction * static_cast<double>(n)));
-    count = std::clamp<std::size_t>(count, 1, n);
-  }
-  std::vector<net::NodeId> ids;
-  ids.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) ids.push_back(net::NodeId{static_cast<std::uint32_t>(i)});
-  rng_.shuffle(ids);
-  ids.resize(count);
-  victims_ = std::move(ids);
-  for (const auto id : victims_) {
-    const auto when = sim.now() + rng_.uniform(sim::Duration::zero(), horizon - sim.now());
-    if (when >= horizon) continue;  // ns rounding can land exactly on the horizon
-    sim.at(when, [this, id] {
-      ++events_;
-      ctrl_.observer().record_event(name(), ctrl_.simulation().now(), 1);
-      ctrl_.kill(id);
-    });
-  }
+  static_cast<void>(horizon);  // depletion is physics, not an arrival process
+  static_cast<void>(params_);
+  ctrl_.network().set_on_depleted([this](net::NodeId id) { on_depleted(id); });
+}
+
+void BatteryDepletionModel::on_depleted(net::NodeId id) {
+  if (ctrl_.permanently_dead(id)) return;  // defensive: one death per node
+  ++events_;
+  deaths_.push_back(id);
+  ctrl_.observer().record_event(name(), ctrl_.simulation().now(), 1);
+  ctrl_.kill(id);
 }
 
 // --- LinkDegradationModel ----------------------------------------------------

@@ -63,9 +63,17 @@ class RegionOutageModel final : public FaultModel {
   std::uint64_t events_ = 0;
 };
 
-/// (c) Permanent battery-depletion deaths: a fixed fraction of the nodes,
-/// chosen uniformly, dies at uniformly random instants before the horizon
-/// and never repairs.
+/// (c) Permanent battery-depletion deaths, energy-driven: the model
+/// subscribes to the network's depletion notification and converts every
+/// drained battery into a permanent death through the controller — the
+/// energy layer pushes deaths *up* into the fault layer, instead of the
+/// fault layer sampling victims.  Deaths therefore track actual consumption
+/// (airtime + idle drain vs the configured capacity) and the model draws
+/// nothing from its sub-stream: toggling it can never perturb another
+/// model's timeline, and no other stream can perturb the death order beyond
+/// what it does to consumption itself.  The horizon does not apply —
+/// batteries that dry out while the run drains still die (physics does not
+/// honor the activity horizon); only event *initiating* processes stop.
 class BatteryDepletionModel final : public FaultModel {
  public:
   BatteryDepletionModel(FaultController& ctrl, BatteryDepletionParams params, sim::Rng rng);
@@ -74,14 +82,16 @@ class BatteryDepletionModel final : public FaultModel {
   void start(sim::TimePoint horizon) override;
   [[nodiscard]] std::uint64_t events_injected() const override { return events_; }
 
-  /// Nodes selected to die, death order (known after start()).
-  [[nodiscard]] const std::vector<net::NodeId>& victims() const { return victims_; }
+  /// Nodes that have died of depletion so far, in death order.
+  [[nodiscard]] const std::vector<net::NodeId>& deaths() const { return deaths_; }
 
  private:
+  void on_depleted(net::NodeId id);
+
   FaultController& ctrl_;
   BatteryDepletionParams params_;
-  sim::Rng rng_;
-  std::vector<net::NodeId> victims_;
+  sim::Rng rng_;  ///< reserved sub-stream (kBatteryStream); currently drawless
+  std::vector<net::NodeId> deaths_;
   std::uint64_t events_ = 0;
 };
 

@@ -29,9 +29,21 @@ void FaultObserver::on_state_change(net::NodeId id, bool up, sim::TimePoint at) 
   }
 }
 
-void FaultObserver::on_permanent_death(net::NodeId id) {
+void FaultObserver::on_permanent_death(net::NodeId id, sim::TimePoint at) {
   static_cast<void>(id);
   ++stats_.permanent_deaths;
+  death_times_.push_back(at);
+  // Death order is chronological (the controller reports at kill time), so
+  // the k%-dead thresholds are crossed by the k%-th recorded death.
+  const auto dead = death_times_.size();
+  const auto total = nodes_.size();
+  if (dead == 1) stats_.time_to_first_death_ms = at.to_ms();
+  if (stats_.time_to_10pct_dead_ms < 0.0 && dead * 10 >= total) {
+    stats_.time_to_10pct_dead_ms = at.to_ms();
+  }
+  if (stats_.half_life_ms < 0.0 && dead * 2 >= total) {
+    stats_.half_life_ms = at.to_ms();
+  }
 }
 
 void FaultObserver::on_delivery(net::NodeId node, sim::TimePoint at) {

@@ -48,6 +48,18 @@ struct FaultStats {
   double mean_recovery_latency_ms = 0.0;
   /// Repairs still waiting for a first delivery when the run ended.
   std::uint64_t repairs_unrecovered = 0;
+
+  // --- network-lifetime metrics (energy-driven deaths) -----------------------
+  // -1 means "never happened during the run"; comparable across protocols
+  // only when every compared run shares the battery configuration.
+  /// Instant of the first permanent death (the classical time-to-first-death
+  /// lifetime definition).
+  double time_to_first_death_ms = -1.0;
+  /// Instant at which >= 10% of the deployment was permanently dead.
+  double time_to_10pct_dead_ms = -1.0;
+  /// Instant at which >= 50% of the deployment was permanently dead (the
+  /// network half-life).
+  double half_life_ms = -1.0;
 };
 
 /// One model-level fault event, kept in memory for tests and diagnostics
@@ -71,8 +83,9 @@ class FaultObserver {
   /// A node actually transitioned (wired to net::Network's state hook).
   void on_state_change(net::NodeId id, bool up, sim::TimePoint at);
 
-  /// A node will never come back (battery depletion).
-  void on_permanent_death(net::NodeId id);
+  /// A node will never come back (battery depletion).  Death instants feed
+  /// the lifetime metrics (time-to-first-death / 10%-dead / half-life).
+  void on_permanent_death(net::NodeId id, sim::TimePoint at);
 
   /// A protocol-level delivery completed at `node`.
   void on_delivery(net::NodeId node, sim::TimePoint at);
@@ -95,6 +108,7 @@ class FaultObserver {
   FaultStats stats_;
   std::vector<FaultEvent> events_;
   std::vector<NodeState> nodes_;
+  std::vector<sim::TimePoint> death_times_;  ///< permanent deaths, death order
   std::size_t down_now_ = 0;
   sim::TimePoint outage_since_;
   double recovery_latency_sum_ms_ = 0.0;

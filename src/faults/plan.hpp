@@ -39,12 +39,15 @@ struct RegionOutageParams {
   sim::Duration repair_max = sim::Duration::ms(30.0);
 };
 
-/// Permanent battery-depletion deaths: a `death_fraction` share of the
-/// nodes (chosen uniformly, at least one when enabled) dies at a uniformly
-/// random instant before the activity horizon and never repairs.
+/// Permanent battery-depletion deaths, driven by the energy layer: when a
+/// node's finite `net::Battery` (ExperimentConfig::battery) runs dry, the
+/// model turns the network's depletion notification into a permanent death
+/// through the controller.  Which nodes die, and when, is decided by actual
+/// consumption — radio airtime plus idle drain against the configured
+/// capacity — not by a configured fraction.  With an infinite battery the
+/// model is armed but can never fire.
 struct BatteryDepletionParams {
   bool enabled = false;
-  double death_fraction = 0.1;
 };
 
 /// Link-level degradation: every frame reception independently fails with a

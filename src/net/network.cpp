@@ -1,26 +1,46 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
 namespace spms::net {
 
 Network::Network(sim::Simulation& sim, RadioTable radio, MacParams mac, EnergyModelParams energy,
-                 std::vector<Point> positions, double zone_radius_m)
+                 std::vector<Point> positions, double zone_radius_m, BatteryParams battery)
     : sim_(sim),
       radio_(std::move(radio)),
       mac_(mac),
       energy_(energy),
+      battery_(battery),
       zone_radius_m_(zone_radius_m) {
   if (positions.empty()) throw std::invalid_argument{"Network: empty deployment"};
   if (zone_radius_m <= 0 || zone_radius_m > radio_.max_range()) {
     throw std::invalid_argument{"Network: zone radius outside the radio's reach"};
   }
+  if (battery_.finite && battery_.capacity_uj <= 0.0) {
+    throw std::invalid_argument{"Network: finite battery needs a positive capacity"};
+  }
+  if (battery_.heterogeneity < 0.0 || battery_.heterogeneity >= 1.0) {
+    throw std::invalid_argument{"Network: battery heterogeneity must be in [0, 1)"};
+  }
   nodes_.resize(positions.size());
+  // Heterogeneous charges come from a dedicated sub-stream in ascending node
+  // id, so the draw sequence is a pure function of (seed, capacity, h).
+  auto init_rng = sim_.rng().fork(kBatteryInitStream);
   for (std::size_t i = 0; i < positions.size(); ++i) {
     nodes_[i].id = NodeId{static_cast<std::uint32_t>(i)};
     nodes_[i].pos = positions[i];
+    if (battery_.finite) {
+      double charge = battery_.capacity_uj;
+      if (battery_.heterogeneity > 0.0) {
+        charge = init_rng.uniform(battery_.capacity_uj * (1.0 - battery_.heterogeneity),
+                                  battery_.capacity_uj * (1.0 + battery_.heterogeneity));
+      }
+      nodes_[i].battery.init_finite(charge);
+    }
   }
 }
 
@@ -62,6 +82,12 @@ double Network::rx_energy_uj(std::size_t bytes) const {
 
 bool Network::send(NodeId from, Packet packet, double coverage_m, EnergyUse use) {
   Node& n = nodes_.at(from.v);
+  if (n.battery.depleted()) {
+    // A drained node cannot key its radio, even before the fault layer has
+    // processed the (zero-delay) depletion notification.
+    ++counters_.dropped_battery_dead;
+    return false;
+  }
   if (!n.up) {
     ++counters_.dropped_sender_down;
     return false;
@@ -104,11 +130,15 @@ void Network::send_unqueued(Node& n, OutgoingFrame frame) {
   const NodeId id = n.id;
   sim_.after(access_delay(n, frame), [this, id, frame = std::move(frame)] {
     Node& sender = nodes_[id.v];
+    if (sender.battery.depleted()) {
+      ++counters_.dropped_battery_dead;  // drained during the backoff
+      return;
+    }
     if (!sender.up) {
       ++counters_.dropped_sender_down;  // crashed during the backoff
       return;
     }
-    sender.meter.add_tx(tx_energy_uj(frame.packet.size_bytes, frame.level), frame.use);
+    charge_node_tx(sender, tx_energy_uj(frame.packet.size_bytes, frame.level), frame.use);
     count_tx(frame.packet);
     sim_.after(airtime(frame.packet.size_bytes),
                [this, id, frame] { deliver_frame(nodes_[id.v], frame); });
@@ -148,8 +178,16 @@ void Network::mac_try_send(Node& n) {
 
 void Network::mac_begin_tx(Node& n) {
   assert(n.mac_busy && !n.mac_queue.empty());
+  if (n.battery.depleted()) {
+    // Drained while waiting for the channel: the queue dies with the radio.
+    counters_.dropped_battery_dead += n.mac_queue.size();
+    n.mac_queue.clear();
+    n.mac_busy = false;
+    n.mac_event = sim::EventHandle{};
+    return;
+  }
   const OutgoingFrame& f = n.mac_queue.front();
-  n.meter.add_tx(tx_energy_uj(f.packet.size_bytes, f.level), f.use);
+  charge_node_tx(n, tx_energy_uj(f.packet.size_bytes, f.level), f.use);
   count_tx(f.packet);
   const auto end = sim_.now() + airtime(f.packet.size_bytes);
   if (mac_.carrier_sense) {
@@ -174,6 +212,13 @@ void Network::deliver_frame(const Node& sender, const OutgoingFrame& frame) {
   std::vector<NodeId> processors;
   processors.reserve(hearers.size());
   for (NodeId h : hearers) {
+    if (nodes_[h.v].battery.depleted()) {
+      // A drained receiver cannot decode: no rx charge, no processing, and
+      // no link-fault draw (keeping the fault stream's draw sequence a
+      // function of the *live* hearer set).
+      ++counters_.dropped_battery_dead;
+      continue;
+    }
     if (link_fault_ && link_fault_(sender.id, h)) {
       // Faded below the decode threshold for this receiver: no rx charge,
       // no processing (ascending-id hearer order keeps the draws
@@ -183,7 +228,7 @@ void Network::deliver_frame(const Node& sender, const OutgoingFrame& frame) {
     }
     const bool addressed = p.is_broadcast() || p.dst == h;
     if (addressed || energy_.charge_overhearing) {
-      nodes_[h.v].meter.add_rx(rx_energy_uj(p.size_bytes), frame.use);
+      charge_node_rx(nodes_[h.v], rx_energy_uj(p.size_bytes), frame.use);
     }
     if (addressed) processors.push_back(h);
   }
@@ -194,6 +239,10 @@ void Network::deliver_frame(const Node& sender, const OutgoingFrame& frame) {
   sim_.after(mac_.t_proc, [this, processors = std::move(processors), pkt = frame.packet] {
     for (NodeId h : processors) {
       Node& r = nodes_[h.v];
+      if (r.battery.depleted()) {
+        ++counters_.dropped_battery_dead;  // drained between rx and t_proc
+        continue;
+      }
       if (!r.up) {
         ++counters_.dropped_receiver_down;
         continue;
@@ -242,22 +291,111 @@ void Network::set_up(NodeId id, bool up) {
 void Network::charge_tx(NodeId id, std::size_t bytes, double coverage_m, EnergyUse use) {
   const auto lvl = radio_.cheapest_level_for(coverage_m);
   if (!lvl) return;
-  nodes_.at(id.v).meter.add_tx(tx_energy_uj(bytes, *lvl), use);
+  charge_node_tx(nodes_.at(id.v), tx_energy_uj(bytes, *lvl), use);
   counters_.tx_bytes += bytes;
   ++counters_.tx_route;
 }
 
 void Network::charge_rx(NodeId id, std::size_t bytes, EnergyUse use) {
-  nodes_.at(id.v).meter.add_rx(rx_energy_uj(bytes), use);
+  charge_node_rx(nodes_.at(id.v), rx_energy_uj(bytes), use);
+}
+
+void Network::charge_node_tx(Node& n, double uj, EnergyUse use) {
+  const bool was = n.battery.depleted();
+  n.battery.add_tx(uj, use);
+  if (!was && n.battery.depleted()) dispatch_depletion(n);
+}
+
+void Network::charge_node_rx(Node& n, double uj, EnergyUse use) {
+  const bool was = n.battery.depleted();
+  n.battery.add_rx(uj, use);
+  if (!was && n.battery.depleted()) dispatch_depletion(n);
+}
+
+void Network::charge_node_idle(Node& n, double uj) {
+  const bool was = n.battery.depleted();
+  n.battery.add_idle(uj);
+  if (!was && n.battery.depleted()) dispatch_depletion(n);
+}
+
+void Network::dispatch_depletion(Node& n) {
+  // Zero-delay deferral: the charge sites sit inside MAC/delivery loops, and
+  // the fault layer's kill path (Network::set_up) tears down exactly the
+  // structures those loops are iterating.  The battery's depleted flag
+  // already gates all traffic in the meantime.
+  const NodeId id = n.id;
+  sim_.after(sim::Duration::zero(), [this, id] {
+    if (on_depleted_) on_depleted_(id);
+  });
+}
+
+void Network::start_idle_drain(sim::TimePoint until) {
+  if (!battery_.finite || battery_.idle_drain_mw <= 0.0) return;
+  if (battery_.idle_tick <= sim::Duration::zero()) return;
+  idle_drain_until_ = until;
+  const auto first = sim_.now() + battery_.idle_tick;
+  if (first > idle_drain_until_) return;
+  sim_.at(first, [this] { idle_drain_tick(); });
+}
+
+void Network::idle_drain_tick() {
+  const double uj = battery_.idle_drain_mw * battery_.idle_tick.to_ms();
+  // Ascending node id; down-but-not-depleted nodes leak too (crashed
+  // hardware still holds its charge budget against the clock).
+  for (auto& n : nodes_) {
+    if (!n.battery.depleted()) charge_node_idle(n, uj);
+  }
+  const auto next = sim_.now() + battery_.idle_tick;
+  if (next > idle_drain_until_) return;  // horizon reached: let the run drain
+  sim_.at(next, [this] { idle_drain_tick(); });
+}
+
+std::size_t Network::depleted_count() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node.battery.depleted()) ++n;
+  }
+  return n;
+}
+
+BatterySummary Network::battery_summary() const {
+  BatterySummary s;
+  if (!battery_.finite) return s;
+  std::vector<double> residuals;
+  residuals.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    if (n.battery.depleted()) ++s.depleted_nodes;
+    s.initial_total_uj += n.battery.initial_charge_uj();
+    s.spent_total_uj += n.battery.spent_uj();
+    residuals.push_back(n.battery.remaining_uj());
+  }
+  std::sort(residuals.begin(), residuals.end());
+  const auto count = static_cast<double>(residuals.size());
+  double sum = 0.0;
+  double weighted = 0.0;  // sum of rank * x over ascending residuals
+  for (std::size_t i = 0; i < residuals.size(); ++i) {
+    sum += residuals[i];
+    weighted += static_cast<double>(i + 1) * residuals[i];
+  }
+  s.residual_min_uj = residuals.front();
+  s.residual_mean_uj = sum / count;
+  double var = 0.0;
+  for (const double r : residuals) var += (r - s.residual_mean_uj) * (r - s.residual_mean_uj);
+  s.residual_stddev_uj = std::sqrt(var / count);
+  // Gini over the residual charges: 0 = perfectly even, 1 = one node holds
+  // everything.  All-zero residuals (everyone dead) read as perfectly even.
+  if (sum > 0.0) s.residual_gini = (2.0 * weighted) / (count * sum) - (count + 1.0) / count;
+  return s;
 }
 
 EnergyBreakdown Network::energy() const {
   EnergyBreakdown total;
   for (const auto& n : nodes_) {
-    total.protocol_tx_uj += n.meter.protocol_tx_uj();
-    total.protocol_rx_uj += n.meter.protocol_rx_uj();
-    total.routing_tx_uj += n.meter.routing_tx_uj();
-    total.routing_rx_uj += n.meter.routing_rx_uj();
+    total.protocol_tx_uj += n.battery.meter().protocol_tx_uj();
+    total.protocol_rx_uj += n.battery.meter().protocol_rx_uj();
+    total.routing_tx_uj += n.battery.meter().routing_tx_uj();
+    total.routing_rx_uj += n.battery.meter().routing_rx_uj();
+    total.idle_uj += n.battery.idle_uj();
   }
   return total;
 }

@@ -37,6 +37,7 @@ struct NetCounters {
   std::uint64_t dropped_out_of_range = 0; ///< requested disc beyond max range
   std::uint64_t dropped_receiver_down = 0;///< receiver failed before processing
   std::uint64_t dropped_link_fault = 0;   ///< reception lost to a link fault
+  std::uint64_t dropped_battery_dead = 0; ///< frame lost to a drained battery
 
   [[nodiscard]] std::uint64_t tx_total() const { return tx_adv + tx_req + tx_data + tx_route; }
 };
@@ -47,10 +48,14 @@ class Network {
   /// \param zone_radius_m  the node's maximum transmission radius for this
   ///        deployment (the paper's "zone" radius); must be covered by the
   ///        radio table's strongest level.
+  /// \param battery  finite-budget battery model; the default is the
+  ///        historical infinite battery.  Heterogeneous initial charges are
+  ///        drawn here on a dedicated RNG sub-stream (ascending node id), so
+  ///        no other stream in the run is perturbed by the battery config.
   /// \throws std::invalid_argument on an empty deployment or a zone radius
   ///         beyond the radio's maximum range.
   Network(sim::Simulation& sim, RadioTable radio, MacParams mac, EnergyModelParams energy,
-          std::vector<Point> positions, double zone_radius_m);
+          std::vector<Point> positions, double zone_radius_m, BatteryParams battery = {});
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -114,6 +119,13 @@ class Network {
   using LinkFaultFn = std::function<bool(NodeId from, NodeId to)>;
   void set_link_fault(LinkFaultFn fn) { link_fault_ = std::move(fn); }
 
+  /// Invoked (via a zero-delay event, so never from inside MAC bookkeeping)
+  /// when a node's finite battery runs dry.  The energy-driven death model
+  /// hangs here and turns the depletion into a permanent fault-layer death;
+  /// pass nullptr to detach.  Fires at most once per node.
+  using DepletionFn = std::function<void(NodeId)>;
+  void set_on_depleted(DepletionFn fn) { on_depleted_ = std::move(fn); }
+
   // --- transmission ----------------------------------------------------------
   /// Broadcasts `packet` so that the disc of `coverage_m` metres around the
   /// sender is covered.  Returns false (and counts a drop) if the sender is
@@ -139,10 +151,24 @@ class Network {
   /// Charges receive energy for `bytes` at a node.
   void charge_rx(NodeId id, std::size_t bytes, EnergyUse use);
 
+  // --- battery -----------------------------------------------------------------
+  /// Starts the deterministic idle-drain tick: every `battery.idle_tick`,
+  /// each non-depleted node is charged idle_drain_mw * tick until (and
+  /// including no tick after) `until`, so the run still drains to
+  /// quiescence.  No-op for infinite batteries or zero drain.
+  void start_idle_drain(sim::TimePoint until);
+
+  [[nodiscard]] const BatteryParams& battery_params() const { return battery_; }
+  [[nodiscard]] const Battery& battery(NodeId id) const { return node(id).battery; }
+  /// Nodes whose finite charge has run dry.
+  [[nodiscard]] std::size_t depleted_count() const;
+  /// Residual-charge statistics (all zeros for infinite batteries).
+  [[nodiscard]] BatterySummary battery_summary() const;
+
   // --- accounting --------------------------------------------------------------
   [[nodiscard]] EnergyBreakdown energy() const;
   [[nodiscard]] const NetCounters& counters() const { return counters_; }
-  [[nodiscard]] double node_energy_uj(NodeId id) const { return node(id).meter.total_uj(); }
+  [[nodiscard]] double node_energy_uj(NodeId id) const { return node(id).battery.spent_uj(); }
 
  private:
   /// Airtime of `bytes` at the configured rate.
@@ -173,15 +199,30 @@ class Network {
 
   void count_tx(const Packet& p);
 
+  /// Clamped battery charges.  Each checks for a fresh depletion and, when
+  /// one happened, dispatches the on_depleted hook on a zero-delay event
+  /// (never synchronously: the charge sites sit inside MAC/delivery
+  /// bookkeeping that a synchronous kill would corrupt).
+  void charge_node_tx(Node& n, double uj, EnergyUse use);
+  void charge_node_rx(Node& n, double uj, EnergyUse use);
+  void charge_node_idle(Node& n, double uj);
+  void dispatch_depletion(Node& n);
+
+  /// One idle-drain tick: charge every non-depleted node, reschedule.
+  void idle_drain_tick();
+
   sim::Simulation& sim_;
   RadioTable radio_;
   MacParams mac_;
   EnergyModelParams energy_;
+  BatteryParams battery_;
   std::vector<Node> nodes_;
   double zone_radius_m_;
   NetCounters counters_;
   StateChangeFn on_state_change_;
   LinkFaultFn link_fault_;
+  DepletionFn on_depleted_;
+  sim::TimePoint idle_drain_until_;
 };
 
 }  // namespace spms::net

@@ -46,7 +46,7 @@ struct Node {
   Point pos;
   bool up = true;
 
-  EnergyMeter meter;
+  Battery battery;
   Agent* agent = nullptr;  ///< non-owning; protocols outlive the run
 
   // MAC state: one transmission at a time, FIFO queue behind it.

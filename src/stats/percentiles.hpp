@@ -22,7 +22,11 @@ class Percentiles {
   /// Number of observations.
   [[nodiscard]] std::size_t count() const { return xs_.size(); }
 
-  /// q-quantile for q in [0,1]; 0 observations -> 0.0.
+  /// q-quantile for q in [0,1].  Hardened edges: zero observations return
+  /// quiet NaN (a defined "no data" answer rather than a fabricated 0 that
+  /// could be mistaken for a real measurement — callers that need a number
+  /// must check count() first, as exp::run_experiment does), and q outside
+  /// [0,1] asserts in debug builds and clamps in release builds.
   /// Not const: sorts lazily on first query after inserts.
   [[nodiscard]] double quantile(double q);
 

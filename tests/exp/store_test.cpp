@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -55,8 +56,16 @@ RunResult awkward_result() {
   r.energy.protocol_rx_uj = 2.2250738585072014e-308;
   r.energy.routing_tx_uj = 9e18;
   r.energy.routing_rx_uj = 0.0;
+  r.energy.idle_uj = 0.7000000000000001;
   r.energy_per_item_uj = 3.3333333333333335;
   r.protocol_energy_per_item_uj = 0.30000000000000004;
+  r.battery.depleted_nodes = 5;
+  r.battery.initial_total_uj = 16900.000000000002;
+  r.battery.spent_total_uj = 1.0 / 7.0;
+  r.battery.residual_mean_uj = 99.30000000000001;
+  r.battery.residual_stddev_uj = 2.5e-308;
+  r.battery.residual_min_uj = 1e-12;
+  r.battery.residual_gini = 0.6180339887498949;
   r.net_counters.tx_adv = 1;
   r.net_counters.tx_req = 2;
   r.net_counters.tx_data = 3;
@@ -67,6 +76,7 @@ RunResult awkward_result() {
   r.net_counters.dropped_out_of_range = 8;
   r.net_counters.dropped_receiver_down = 9;
   r.net_counters.dropped_link_fault = 17;
+  r.net_counters.dropped_battery_dead = 23;
   r.dbf_total.rounds = 10;
   r.dbf_total.messages = 11;
   r.dbf_total.message_bytes = 12;
@@ -83,6 +93,9 @@ RunResult awkward_result() {
   r.fault_stats.recoveries_sampled = 11;
   r.fault_stats.mean_recovery_latency_ms = 2.0 / 7.0;
   r.fault_stats.repairs_unrecovered = 1;
+  r.fault_stats.time_to_first_death_ms = 41.99999999999999;
+  r.fault_stats.time_to_10pct_dead_ms = 123.00000000000001;
+  r.fault_stats.half_life_ms = -1.0;  // the "never reached" sentinel round-trips
   r.failures_injected = 13;
   r.mobility_epochs = 14;
   r.given_up = 15;
@@ -120,6 +133,18 @@ void expect_bit_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.net_counters.dropped_out_of_range, b.net_counters.dropped_out_of_range);
   EXPECT_EQ(a.net_counters.dropped_receiver_down, b.net_counters.dropped_receiver_down);
   EXPECT_EQ(a.net_counters.dropped_link_fault, b.net_counters.dropped_link_fault);
+  EXPECT_EQ(a.net_counters.dropped_battery_dead, b.net_counters.dropped_battery_dead);
+  EXPECT_EQ(a.energy.idle_uj, b.energy.idle_uj);
+  EXPECT_EQ(a.battery.depleted_nodes, b.battery.depleted_nodes);
+  EXPECT_EQ(a.battery.initial_total_uj, b.battery.initial_total_uj);
+  EXPECT_EQ(a.battery.spent_total_uj, b.battery.spent_total_uj);
+  EXPECT_EQ(a.battery.residual_mean_uj, b.battery.residual_mean_uj);
+  EXPECT_EQ(a.battery.residual_stddev_uj, b.battery.residual_stddev_uj);
+  EXPECT_EQ(a.battery.residual_min_uj, b.battery.residual_min_uj);
+  EXPECT_EQ(a.battery.residual_gini, b.battery.residual_gini);
+  EXPECT_EQ(a.fault_stats.time_to_first_death_ms, b.fault_stats.time_to_first_death_ms);
+  EXPECT_EQ(a.fault_stats.time_to_10pct_dead_ms, b.fault_stats.time_to_10pct_dead_ms);
+  EXPECT_EQ(a.fault_stats.half_life_ms, b.fault_stats.half_life_ms);
   EXPECT_EQ(a.fault_stats.fault_events, b.fault_stats.fault_events);
   EXPECT_EQ(a.fault_stats.node_downs, b.fault_stats.node_downs);
   EXPECT_EQ(a.fault_stats.node_repairs, b.fault_stats.node_repairs);
@@ -194,7 +219,11 @@ TEST(CanonicalTest, KeyReactsToEveryKindOfKnob) {
   keys.insert(mutated_key([](auto& c) { c.faults.region.enabled = true; }));
   keys.insert(mutated_key([](auto& c) { c.faults.region.radius_m = 11.0; }));
   keys.insert(mutated_key([](auto& c) { c.faults.battery.enabled = true; }));
-  keys.insert(mutated_key([](auto& c) { c.faults.battery.death_fraction = 0.2; }));
+  keys.insert(mutated_key([](auto& c) { c.battery.finite = true; }));
+  keys.insert(mutated_key([](auto& c) { c.battery.capacity_uj = 123.0; }));
+  keys.insert(mutated_key([](auto& c) { c.battery.heterogeneity = 0.25; }));
+  keys.insert(mutated_key([](auto& c) { c.battery.idle_drain_mw = 0.02; }));
+  keys.insert(mutated_key([](auto& c) { c.battery.idle_tick = sim::Duration::ms(51.0); }));
   keys.insert(mutated_key([](auto& c) { c.faults.link.enabled = true; }));
   keys.insert(mutated_key([](auto& c) { c.faults.link.drop_end = 0.5; }));
   keys.insert(mutated_key([](auto& c) { c.faults.sink_churn.enabled = true; }));
@@ -204,7 +233,7 @@ TEST(CanonicalTest, KeyReactsToEveryKindOfKnob) {
   keys.insert(mutated_key([](auto& c) { c.cluster_p_other = 0.06; }));
   keys.insert(mutated_key([](auto& c) { c.activity_horizon = sim::Duration::ms(101.0); }));
   keys.insert(mutated_key([](auto& c) { c.max_events = 1; }));
-  EXPECT_EQ(keys.size(), 30u) << "some mutation did not change the config key";
+  EXPECT_EQ(keys.size(), 34u) << "some mutation did not change the config key";
 }
 
 TEST(CanonicalTest, ResultRoundTripsBitExactly) {
@@ -547,6 +576,99 @@ TEST_F(StoreTest, MergedShardStoresReproduceTheUnshardedRunExactly) {
   for (std::size_t i = 0; i < warm.runs().size(); ++i) {
     expect_bit_identical(unsharded.runs()[i], warm.runs()[i]);
   }
+}
+
+// --- store gc ----------------------------------------------------------------
+
+/// Writes one good record plus one schema-v1 line and one corrupt line.
+void seed_mixed_store(const fs::path& dir, const ExperimentConfig& cfg) {
+  {
+    ResultStore store{dir};
+    store.put(config_key(cfg), canonical_config_json(cfg), awkward_result());
+  }
+  std::ofstream out{dir / "results.jsonl", std::ios::app};
+  std::string foreign = make_record_line(config_key(cfg), canonical_config_json(cfg),
+                                         result_to_json(awkward_result()));
+  const std::string current = "\"schema\":" + std::to_string(kSchemaVersion);
+  foreign.replace(foreign.find(current), current.size(), "\"schema\":1");
+  out << foreign << "\n";
+  out << "corrupt, not json\n";
+}
+
+TEST_F(StoreTest, GcEvictsForeignSchemaAndCorruptLines) {
+  const auto dir = temp_dir();
+  ExperimentConfig cfg;
+  seed_mixed_store(dir, cfg);
+
+  ResultStore store{dir};
+  const auto report = store.gc({});
+  EXPECT_FALSE(report.dry_run);
+  EXPECT_EQ(report.kept, 1u);
+  EXPECT_EQ(report.evicted_schema, 1u);
+  EXPECT_EQ(report.evicted_age, 0u);
+  EXPECT_EQ(report.dropped_corrupt, 1u);
+
+  // Only the clean record survives, and a reload sees nothing corrupt.
+  ResultStore reloaded{dir};
+  reloaded.load();
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_EQ(reloaded.corrupt_lines(), 0u);
+  expect_bit_identical(awkward_result(),
+                       *reloaded.find(config_key(cfg), canonical_config_json(cfg)));
+  EXPECT_EQ(reloaded.inventory().schema_lines.count(1), 0u);
+}
+
+TEST_F(StoreTest, GcDryRunReportsButTouchesNothing) {
+  const auto dir = temp_dir();
+  ExperimentConfig cfg;
+  seed_mixed_store(dir, cfg);
+
+  GcOptions options;
+  options.dry_run = true;
+  ResultStore store{dir};
+  const auto report = store.gc(options);
+  EXPECT_TRUE(report.dry_run);
+  EXPECT_EQ(report.kept, 1u);
+  EXPECT_EQ(report.evicted_schema, 1u);
+  EXPECT_EQ(report.dropped_corrupt, 1u);
+
+  // The stale lines are still on disk: a fresh inventory sees the v1 record
+  // and the corrupt line exactly as before.
+  const auto inv = ResultStore{dir}.inventory();
+  EXPECT_EQ(inv.schema_lines.at(1), 1u);
+  EXPECT_EQ(inv.corrupt_lines, 1u);
+}
+
+TEST_F(StoreTest, GcAgeEvictionDropsOldFilesRecords) {
+  const auto dir = temp_dir();
+  ExperimentConfig old_cfg;
+  ExperimentConfig new_cfg;
+  new_cfg.seed = 77;
+  {
+    // Old records live in their own shard file whose mtime we age by hand.
+    ResultStore store{dir};
+    store.put(config_key(old_cfg), canonical_config_json(old_cfg), awkward_result());
+  }
+  fs::rename(dir / "results.jsonl", dir / "aged.jsonl");
+  fs::last_write_time(dir / "aged.jsonl",
+                      fs::file_time_type::clock::now() - std::chrono::hours{10 * 24});
+  {
+    ResultStore store{dir};
+    store.put(config_key(new_cfg), canonical_config_json(new_cfg), awkward_result());
+  }
+
+  GcOptions options;
+  options.max_age_days = 7.0;
+  ResultStore store{dir};
+  const auto report = store.gc(options);
+  EXPECT_EQ(report.evicted_age, 1u);
+  EXPECT_EQ(report.kept, 1u);
+
+  ResultStore reloaded{dir};
+  reloaded.load();
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_FALSE(reloaded.find(config_key(old_cfg), canonical_config_json(old_cfg)).has_value());
+  EXPECT_TRUE(reloaded.find(config_key(new_cfg), canonical_config_json(new_cfg)).has_value());
 }
 
 TEST(ShardTest, ShardedBatchCarriesOnlyTouchedPoints) {

@@ -27,10 +27,11 @@ net::MacParams quiet_mac() {
 }
 
 struct Harness {
-  explicit Harness(std::size_t side = 4, std::uint64_t seed = 9)
+  explicit Harness(std::size_t side = 4, std::uint64_t seed = 9,
+                   net::BatteryParams battery = {})
       : sim(seed),
         net(sim, net::RadioTable::mica2(), quiet_mac(), {}, net::grid_deployment(side, 5.0),
-            20.0) {}
+            20.0, battery) {}
   sim::Simulation sim;
   net::Network net;
 };
@@ -131,37 +132,54 @@ TEST(RegionOutageTest, BlackoutsTakeDisksDownTogetherAndRestoreThem) {
   }
 }
 
-TEST(BatteryDepletionTest, KillsTheConfiguredFractionPermanently) {
-  Harness h(4, 33);  // 16 nodes
+TEST(BatteryDepletionTest, DepletedBatteriesDiePermanentlyThroughTheController) {
+  // Energy-driven deaths: idle drain (1 mW, 1 ms tick) against a 5 uJ budget
+  // dries every battery out by t = 5 ms; each depletion must become a
+  // permanent fault-layer death, in deterministic order, with a timestamp.
+  net::BatteryParams battery;
+  battery.finite = true;
+  battery.capacity_uj = 5.0;
+  battery.idle_drain_mw = 1.0;
+  battery.idle_tick = sim::Duration::ms(1.0);
+  Harness h(4, 33, battery);  // 16 nodes
   FaultPlan plan;
   plan.battery.enabled = true;
-  plan.battery.death_fraction = 0.25;
   FaultController ctrl(h.sim, h.net, plan, net::NodeId{0});
   ctrl.start(sim::TimePoint::at(sim::Duration::ms(100)));
+  h.net.start_idle_drain(sim::TimePoint::at(sim::Duration::ms(100)));
   h.sim.run();
   ctrl.finalize();
 
-  EXPECT_EQ(ctrl.stats().permanent_deaths, 4u);
+  EXPECT_EQ(ctrl.stats().permanent_deaths, 16u);
   EXPECT_EQ(ctrl.stats().node_repairs, 0u);
-  EXPECT_EQ(down_count(h.net), 4u);
-  const auto* battery = dynamic_cast<BatteryDepletionModel*>(ctrl.model("battery"));
-  ASSERT_NE(battery, nullptr);
-  EXPECT_EQ(battery->victims().size(), 4u);
-  for (const auto v : battery->victims()) {
+  EXPECT_EQ(down_count(h.net), 16u);
+  EXPECT_EQ(h.net.depleted_count(), 16u);
+  const auto* model = dynamic_cast<BatteryDepletionModel*>(ctrl.model("battery"));
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->deaths().size(), 16u);
+  EXPECT_EQ(model->events_injected(), 16u);
+  for (const auto v : model->deaths()) {
     EXPECT_FALSE(h.net.is_up(v));
     EXPECT_TRUE(ctrl.permanently_dead(v));
   }
+  // All budgets are equal and drain on the same tick, so everyone died at
+  // the 5th tick; the lifetime milestones all sit there too.
+  EXPECT_DOUBLE_EQ(ctrl.stats().time_to_first_death_ms, 5.0);
+  EXPECT_DOUBLE_EQ(ctrl.stats().time_to_10pct_dead_ms, 5.0);
+  EXPECT_DOUBLE_EQ(ctrl.stats().half_life_ms, 5.0);
 }
 
-TEST(BatteryDepletionTest, AtLeastOneVictimForTinyFractions) {
+TEST(BatteryDepletionTest, InfiniteBatteriesNeverFireTheModel) {
   Harness h;
   FaultPlan plan;
-  plan.battery.enabled = true;
-  plan.battery.death_fraction = 0.001;  // rounds to 0, clamped to 1
+  plan.battery.enabled = true;  // armed, but nothing can deplete
   FaultController ctrl(h.sim, h.net, plan, net::NodeId{0});
   ctrl.start(sim::TimePoint::at(sim::Duration::ms(100)));
+  h.net.start_idle_drain(sim::TimePoint::at(sim::Duration::ms(100)));
   h.sim.run();
-  EXPECT_EQ(ctrl.stats().permanent_deaths, 1u);
+  EXPECT_EQ(ctrl.stats().permanent_deaths, 0u);
+  EXPECT_DOUBLE_EQ(ctrl.stats().time_to_first_death_ms, -1.0);
+  EXPECT_DOUBLE_EQ(ctrl.stats().half_life_ms, -1.0);
 }
 
 TEST(SinkChurnTest, TargetsExactlyTheKHopNeighborhood) {
@@ -240,8 +258,7 @@ TEST(StreamIndependenceTest, TogglingOneModelNeverPerturbsAnother) {
 
   FaultPlan stacked = region_only;
   stacked.crash.enabled = true;
-  stacked.battery.enabled = true;
-  stacked.battery.death_fraction = 0.2;
+  stacked.battery.enabled = true;  // energy-driven: drawless, can't perturb anyone
 
   const auto region_alone = run_plan(region_only, "region");
   const auto region_stacked = run_plan(stacked, "region");

@@ -1,0 +1,248 @@
+#include "net/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+
+/// Battery-subsystem invariants: clamped spending conserves energy to
+/// floating-point rounding (spend + residual == initial charge), depletion gates both transmit and
+/// receive, the depletion notification fires exactly once per node, idle
+/// drain ticks deterministically and stops at its horizon, and heterogeneous
+/// initial charges come from a dedicated RNG sub-stream.
+
+namespace spms::net {
+namespace {
+
+MacParams quiet_mac() {
+  MacParams mac;
+  mac.num_slots = 1;
+  mac.contention_g_ms = 0.0;
+  return mac;
+}
+
+Packet adv(std::size_t bytes = 20) {
+  Packet p;
+  p.type = PacketType::kAdv;
+  p.size_bytes = bytes;
+  return p;
+}
+
+// --- Battery unit ------------------------------------------------------------
+
+TEST(BatteryTest, InfiniteBatteryBehavesLikeThePlainMeter) {
+  Battery b;
+  EXPECT_FALSE(b.finite());
+  EXPECT_FALSE(b.depleted());
+  EXPECT_TRUE(std::isinf(b.remaining_uj()));
+  EXPECT_DOUBLE_EQ(b.add_tx(3.0, EnergyUse::kProtocol), 3.0);
+  EXPECT_DOUBLE_EQ(b.add_rx(2.0, EnergyUse::kRouting), 2.0);
+  EXPECT_DOUBLE_EQ(b.add_idle(1.0), 1.0);
+  EXPECT_FALSE(b.depleted());
+  EXPECT_DOUBLE_EQ(b.meter().protocol_tx_uj(), 3.0);
+  EXPECT_DOUBLE_EQ(b.meter().routing_rx_uj(), 2.0);
+  EXPECT_DOUBLE_EQ(b.idle_uj(), 1.0);
+  EXPECT_DOUBLE_EQ(b.spent_uj(), 6.0);
+}
+
+TEST(BatteryTest, SpendClampsAtTheRemainingCharge) {
+  Battery b;
+  b.init_finite(10.0);
+  EXPECT_TRUE(b.finite());
+  EXPECT_DOUBLE_EQ(b.initial_charge_uj(), 10.0);
+  EXPECT_DOUBLE_EQ(b.add_tx(6.0, EnergyUse::kProtocol), 6.0);
+  EXPECT_FALSE(b.depleted());
+  EXPECT_DOUBLE_EQ(b.remaining_uj(), 4.0);
+  // The overdraw is clamped to what is left, and the battery dies.
+  EXPECT_DOUBLE_EQ(b.add_rx(9.0, EnergyUse::kProtocol), 4.0);
+  EXPECT_TRUE(b.depleted());
+  EXPECT_DOUBLE_EQ(b.remaining_uj(), 0.0);
+  // Dead batteries spend nothing, ever.
+  EXPECT_DOUBLE_EQ(b.add_tx(1.0, EnergyUse::kProtocol), 0.0);
+  EXPECT_DOUBLE_EQ(b.add_idle(1.0), 0.0);
+  // Conservation: meter + idle == initial charge, exactly.
+  EXPECT_DOUBLE_EQ(b.spent_uj() + b.remaining_uj(), b.initial_charge_uj());
+}
+
+TEST(BatteryTest, ExactExhaustionDepletes) {
+  Battery b;
+  b.init_finite(5.0);
+  EXPECT_DOUBLE_EQ(b.add_tx(5.0, EnergyUse::kProtocol), 5.0);
+  EXPECT_TRUE(b.depleted());
+  EXPECT_DOUBLE_EQ(b.remaining_uj(), 0.0);
+}
+
+// --- Network integration -----------------------------------------------------
+
+struct Rig {
+  explicit Rig(BatteryParams battery, std::uint64_t seed = 7, std::size_t side = 3)
+      : sim(seed),
+        net(sim, RadioTable::mica2(), quiet_mac(), {}, grid_deployment(side, 5.0), 12.0,
+            battery) {}
+  sim::Simulation sim;
+  Network net;
+};
+
+BatteryParams tiny(double capacity_uj) {
+  BatteryParams b;
+  b.finite = true;
+  b.capacity_uj = capacity_uj;
+  return b;
+}
+
+TEST(NetworkBatteryTest, RejectsNonsenseBatteryConfigs) {
+  EXPECT_THROW(Rig{tiny(0.0)}, std::invalid_argument);
+  auto bad_h = tiny(10.0);
+  bad_h.heterogeneity = 1.0;
+  EXPECT_THROW(Rig{bad_h}, std::invalid_argument);
+}
+
+TEST(NetworkBatteryTest, DepletedNodeCannotTransmit) {
+  // A 20-byte frame at the 6 m coverage level costs the sender exactly
+  // 0.05 mW x 1 ms = 0.05 uJ: one frame drains the whole budget.
+  Rig rig{tiny(0.05)};
+  auto& net = rig.net;
+  ASSERT_TRUE(net.send(NodeId{0}, adv(), 6.0));
+  rig.sim.run();
+  EXPECT_TRUE(net.battery(NodeId{0}).depleted());
+  const auto drops_before = net.counters().dropped_battery_dead;
+  EXPECT_FALSE(net.send(NodeId{0}, adv(), 6.0));
+  EXPECT_EQ(net.counters().dropped_battery_dead, drops_before + 1);
+}
+
+TEST(NetworkBatteryTest, DepletedNodeCannotReceive) {
+  // Budget 0.15: node 0's first frame costs it 0.05 and each hearer 0.15
+  // (rx power x 1 ms airtime), leaving hearers 1 and 3 exactly drained.
+  Rig rig{tiny(0.15)};
+  auto& net = rig.net;
+  ASSERT_TRUE(net.send(NodeId{0}, adv(), 6.0));
+  rig.sim.run();
+  EXPECT_TRUE(net.battery(NodeId{1}).depleted());
+  const double rx_node1 = net.battery(NodeId{1}).meter().protocol_rx_uj();
+  const auto drops_before = net.counters().dropped_battery_dead;
+
+  // Node 2 broadcasts over nodes 1 (dead) and 5 (alive): the live hearer is
+  // charged, the dead one is a battery drop with no further rx spend.
+  ASSERT_TRUE(net.send(NodeId{2}, adv(), 6.0));
+  rig.sim.run();
+  EXPECT_DOUBLE_EQ(net.battery(NodeId{1}).meter().protocol_rx_uj(), rx_node1);
+  EXPECT_GT(net.battery(NodeId{5}).meter().protocol_rx_uj(), 0.0);
+  EXPECT_GT(net.counters().dropped_battery_dead, drops_before);
+}
+
+TEST(NetworkBatteryTest, DepletionNotificationFiresExactlyOncePerNode) {
+  Rig rig{tiny(0.05)};
+  std::vector<std::uint32_t> notified;
+  rig.net.set_on_depleted([&](NodeId id) { notified.push_back(id.v); });
+  // Node 0's frame kills the sender (tx) and both hearers (clamped rx).
+  ASSERT_TRUE(rig.net.send(NodeId{0}, adv(), 6.0));
+  rig.sim.run();
+  std::vector<std::uint32_t> expected{0, 1, 3};
+  std::sort(notified.begin(), notified.end());
+  EXPECT_EQ(notified, expected);
+  // More deaths elsewhere extend the list but never repeat an id.
+  ASSERT_TRUE(rig.net.send(NodeId{4}, adv(), 6.0));
+  rig.sim.run();
+  std::sort(notified.begin(), notified.end());
+  EXPECT_EQ(std::adjacent_find(notified.begin(), notified.end()), notified.end())
+      << "a node was notified twice";
+  EXPECT_EQ(notified.size(), rig.net.depleted_count());
+}
+
+TEST(NetworkBatteryTest, IdleDrainTicksDeterministicallyAndStopsAtHorizon) {
+  auto params = tiny(100.0);
+  params.idle_drain_mw = 0.5;
+  params.idle_tick = sim::Duration::ms(10.0);
+  Rig rig{params};
+  rig.net.start_idle_drain(sim::TimePoint::at(sim::Duration::ms(100)));
+  rig.sim.run();
+  // Exactly 10 ticks (t=10..100) of 0.5 mW x 10 ms = 5 uJ each, no traffic.
+  for (std::uint32_t i = 0; i < rig.net.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rig.net.battery(NodeId{i}).idle_uj(), 50.0) << i;
+    EXPECT_DOUBLE_EQ(rig.net.battery(NodeId{i}).remaining_uj(), 50.0) << i;
+  }
+  EXPECT_DOUBLE_EQ(rig.sim.now().to_ms(), 100.0) << "no tick past the horizon";
+  EXPECT_DOUBLE_EQ(rig.net.energy().idle_uj, 9 * 50.0);
+}
+
+TEST(NetworkBatteryTest, EnergyConservationHoldsNetworkWide) {
+  // Traffic + idle drain until most of the grid is dead: whatever happened,
+  // spend + residual must equal the initial charge, node by node.
+  auto params = tiny(1.0);
+  params.idle_drain_mw = 0.05;
+  params.idle_tick = sim::Duration::ms(5.0);
+  Rig rig{params};
+  rig.net.start_idle_drain(sim::TimePoint::at(sim::Duration::ms(200)));
+  for (std::uint32_t i = 0; i < rig.net.size(); ++i) {
+    rig.net.send(NodeId{i}, adv(), 6.0);
+  }
+  rig.sim.run();
+  double initial = 0.0;
+  double spent = 0.0;
+  double residual = 0.0;
+  for (std::uint32_t i = 0; i < rig.net.size(); ++i) {
+    const auto& b = rig.net.battery(NodeId{i});
+    EXPECT_NEAR(b.spent_uj() + b.remaining_uj(), b.initial_charge_uj(),
+                1e-9 * b.initial_charge_uj())
+        << i;
+    initial += b.initial_charge_uj();
+    spent += b.spent_uj();
+    residual += b.remaining_uj();
+  }
+  EXPECT_GT(rig.net.depleted_count(), 0u);
+  const auto summary = rig.net.battery_summary();
+  EXPECT_DOUBLE_EQ(summary.initial_total_uj, initial);
+  EXPECT_DOUBLE_EQ(summary.spent_total_uj, spent);
+  EXPECT_NEAR(summary.spent_total_uj + summary.residual_mean_uj * 9.0,
+              summary.initial_total_uj, 1e-9);
+  EXPECT_NEAR(residual + spent, initial, 1e-9 * initial);
+}
+
+TEST(NetworkBatteryTest, HeterogeneousChargesAreSeededAndBounded) {
+  auto params = tiny(100.0);
+  params.heterogeneity = 0.3;
+  Rig a{params, /*seed=*/42};
+  Rig b{params, /*seed=*/42};
+  Rig c{params, /*seed=*/43};
+  bool any_differs_across_seeds = false;
+  bool any_differs_within = false;
+  double first = a.net.battery(NodeId{0}).initial_charge_uj();
+  for (std::uint32_t i = 0; i < a.net.size(); ++i) {
+    const double ai = a.net.battery(NodeId{i}).initial_charge_uj();
+    EXPECT_GE(ai, 70.0);
+    EXPECT_LT(ai, 130.0);
+    EXPECT_DOUBLE_EQ(ai, b.net.battery(NodeId{i}).initial_charge_uj()) << "same seed";
+    if (ai != c.net.battery(NodeId{i}).initial_charge_uj()) any_differs_across_seeds = true;
+    if (ai != first) any_differs_within = true;
+  }
+  EXPECT_TRUE(any_differs_across_seeds);
+  EXPECT_TRUE(any_differs_within);
+}
+
+TEST(NetworkBatteryTest, InitialChargesAreIndependentOfOtherRngConsumers) {
+  // The init draws come from a dedicated fork of the root seed, so burning
+  // draws from the simulation's root RNG (as deployment builders and fault
+  // models do) must not shift them.
+  auto params = tiny(100.0);
+  params.heterogeneity = 0.3;
+  sim::Simulation plain{11};
+  Network n1{plain, RadioTable::mica2(), quiet_mac(), {}, grid_deployment(3, 5.0), 12.0,
+             params};
+  sim::Simulation burned{11};
+  for (int i = 0; i < 1000; ++i) static_cast<void>(burned.rng().next());
+  Network n2{burned, RadioTable::mica2(), quiet_mac(), {}, grid_deployment(3, 5.0), 12.0,
+             params};
+  for (std::uint32_t i = 0; i < n1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(n1.battery(NodeId{i}).initial_charge_uj(),
+                     n2.battery(NodeId{i}).initial_charge_uj())
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace spms::net

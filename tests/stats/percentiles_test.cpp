@@ -2,13 +2,26 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace spms::stats {
 namespace {
 
-TEST(PercentilesTest, EmptyReturnsZero) {
+TEST(PercentilesTest, EmptySampleHasDefinedNaNAnswer) {
+  // Hardened contract: no observations means "no data", answered with quiet
+  // NaN for every quantile and accessor — never a fabricated number that
+  // could be mistaken for a measurement.
   Percentiles p;
-  EXPECT_DOUBLE_EQ(p.quantile(0.5), 0.0);
   EXPECT_EQ(p.count(), 0u);
+  EXPECT_TRUE(std::isnan(p.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(p.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(p.quantile(1.0)));
+  EXPECT_TRUE(std::isnan(p.median()));
+  EXPECT_TRUE(std::isnan(p.p95()));
+  EXPECT_TRUE(std::isnan(p.p99()));
+  // Still empty and still NaN on a repeat query (no state was corrupted).
+  EXPECT_EQ(p.count(), 0u);
+  EXPECT_TRUE(std::isnan(p.quantile(0.5)));
 }
 
 TEST(PercentilesTest, SingleValue) {
@@ -41,6 +54,17 @@ TEST(PercentilesTest, KnownQuartiles) {
   EXPECT_DOUBLE_EQ(p.p95(), 95.0);
   EXPECT_DOUBLE_EQ(p.p99(), 99.0);
 }
+
+#ifdef NDEBUG
+TEST(PercentilesTest, OutOfRangeQuantileClampsInRelease) {
+  // Debug builds assert on q outside [0,1]; release builds clamp to the
+  // extremes instead of indexing out of bounds.
+  Percentiles p;
+  for (const double x : {1.0, 2.0, 3.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.5), 3.0);
+}
+#endif
 
 TEST(PercentilesTest, InsertAfterQueryResorts) {
   Percentiles p;
