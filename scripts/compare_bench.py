@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare a fresh google-benchmark JSON run against a checked-in baseline.
+
+Usage:
+    compare_bench.py BASELINE.json FRESH.json [--threshold 2.0]
+
+Gate semantics (the CI perf-smoke job):
+  * benchmarks reporting items_per_second (the throughput benches) fail when
+    fresh throughput drops below baseline / threshold;
+  * time-only benchmarks fail when fresh real_time exceeds baseline *
+    threshold (after normalizing time units);
+  * a benchmark present in the baseline but missing from the fresh run fails
+    the gate — renames must update the baseline file in the same commit.
+
+The threshold is deliberately loose (default 2x): the baseline is recorded
+on one machine and the gate runs on another, so this catches algorithmic
+regressions (an accidental O(n) scan creeping back into a hot path shows up
+as 10-100x), not microarchitectural noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+_TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path: str) -> dict[str, dict]:
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) when repetitions are used.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    return out
+
+
+def real_time_ns(b: dict) -> float:
+    return b["real_time"] * _TIME_UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="allowed slowdown factor before failing (default 2.0)")
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    fresh = load_benchmarks(args.fresh)
+
+    failures = []
+    print(f"{'benchmark':<40} {'baseline':>14} {'fresh':>14} {'ratio':>8}  verdict")
+    for name, b in sorted(base.items()):
+        f = fresh.get(name)
+        if f is None:
+            failures.append(f"{name}: missing from fresh run")
+            print(f"{name:<40} {'-':>14} {'-':>14} {'-':>8}  MISSING")
+            continue
+        if "items_per_second" in b and "items_per_second" in f:
+            ratio = f["items_per_second"] / b["items_per_second"]
+            ok = ratio >= 1.0 / args.threshold
+            print(f"{name:<40} {b['items_per_second']:>12.3g}/s {f['items_per_second']:>12.3g}/s "
+                  f"{ratio:>8.2f}  {'ok' if ok else 'REGRESSION'}")
+            if not ok:
+                failures.append(f"{name}: throughput ratio {ratio:.2f} < 1/{args.threshold}")
+        else:
+            ratio = real_time_ns(f) / real_time_ns(b)
+            ok = ratio <= args.threshold
+            print(f"{name:<40} {real_time_ns(b):>12.3g}ns {real_time_ns(f):>12.3g}ns "
+                  f"{ratio:>8.2f}  {'ok' if ok else 'REGRESSION'}")
+            if not ok:
+                failures.append(f"{name}: time ratio {ratio:.2f} > {args.threshold}")
+
+    extra = sorted(set(fresh) - set(base))
+    if extra:
+        print(f"note: {len(extra)} benchmark(s) not in baseline: {', '.join(extra)}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s) beyond {args.threshold}x")
+        for msg in failures:
+            print(f"  {msg}")
+        return 1
+    print(f"\nOK: all {len(base)} benchmarks within {args.threshold}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -139,10 +139,12 @@ void SinkChurnModel::start(sim::TimePoint horizon) {
   std::vector<bool> seen(net.size(), false);
   seen[sink_.v] = true;
   std::vector<net::NodeId> frontier{sink_};
+  std::vector<net::NodeId> zone;  // scratch reused across the whole BFS
   for (std::uint32_t depth = 0; depth < params_.hops && !frontier.empty(); ++depth) {
     std::vector<net::NodeId> next;
     for (const auto id : frontier) {
-      for (const auto nb : net.neighbors_within(id, net.zone_radius(), /*include_down=*/true)) {
+      net.neighbors_within(id, net.zone_radius(), /*include_down=*/true, zone);
+      for (const auto nb : zone) {
         if (seen[nb.v]) continue;
         seen[nb.v] = true;
         next.push_back(nb);

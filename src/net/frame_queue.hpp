@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "net/energy.hpp"
+#include "net/packet.hpp"
+
+/// \file frame_queue.hpp
+/// The per-node MAC transmit queue: a grow-only ring buffer of frames.
+///
+/// The seed used std::deque, which allocates a block the moment a queue goes
+/// non-empty and frees it when it drains — and a lightly loaded MAC queue
+/// oscillates around empty once per transmission, so the deque churned an
+/// allocation per frame.  The ring grows by doubling to the deployment's
+/// high-water mark and never shrinks; frame slots are reused in place, so
+/// steady-state queueing performs no allocation.
+
+namespace spms::net {
+
+/// One frame queued at a node's MAC, with its engineered coverage disc.
+struct OutgoingFrame {
+  Packet packet;
+  std::size_t level = 0;    ///< radio table index used (for TX power)
+  double coverage_m = 0.0;  ///< disc radius the transmission must cover
+  EnergyUse use = EnergyUse::kProtocol;
+};
+
+/// FIFO ring buffer of OutgoingFrames (power-of-two capacity, index mask).
+class FrameQueue {
+ public:
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  [[nodiscard]] OutgoingFrame& front() {
+    assert(count_ > 0);
+    return buf_[head_];
+  }
+  [[nodiscard]] const OutgoingFrame& front() const {
+    assert(count_ > 0);
+    return buf_[head_];
+  }
+
+  void push_back(OutgoingFrame&& f) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(f);
+    ++count_;
+  }
+
+  OutgoingFrame pop_front() {
+    assert(count_ > 0);
+    OutgoingFrame f = std::move(buf_[head_]);
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --count_;
+    return f;
+  }
+
+  /// Drops all queued frames (node crash / battery death), releasing their
+  /// packet payloads but keeping the ring's capacity.
+  void clear() {
+    for (std::size_t i = 0; i < count_; ++i) {
+      buf_[(head_ + i) & (buf_.size() - 1)] = OutgoingFrame{};
+    }
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 4 : buf_.size() * 2;
+    std::vector<OutgoingFrame> next(cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<OutgoingFrame> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace spms::net

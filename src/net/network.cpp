@@ -27,12 +27,21 @@ Network::Network(sim::Simulation& sim, RadioTable radio, MacParams mac, EnergyMo
     throw std::invalid_argument{"Network: battery heterogeneity must be in [0, 1)"};
   }
   nodes_.resize(positions.size());
+  // The grid's cell edge is the zone radius: the dominant disc query (a
+  // zone) then overlaps at most a 3x3 cell block.  Below kGridMinNodes the
+  // linear scan over the contiguous node array is cheaper than the grid's
+  // cell-block hash lookups, so tiny deployments keep the brute-force path
+  // (the grid stays coherent either way — the cutover is query-side only
+  // and both paths produce identical results in identical order).
+  use_grid_ = positions.size() >= kGridMinNodes;
+  grid_.reset(zone_radius_m, positions.size());
   // Heterogeneous charges come from a dedicated sub-stream in ascending node
   // id, so the draw sequence is a pure function of (seed, capacity, h).
   auto init_rng = sim_.rng().fork(kBatteryInitStream);
   for (std::size_t i = 0; i < positions.size(); ++i) {
     nodes_[i].id = NodeId{static_cast<std::uint32_t>(i)};
     nodes_[i].pos = positions[i];
+    grid_.insert(static_cast<std::uint32_t>(i), positions[i]);
     if (battery_.finite) {
       double charge = battery_.capacity_uj;
       if (battery_.heterogeneity > 0.0) {
@@ -44,27 +53,50 @@ Network::Network(sim::Simulation& sim, RadioTable radio, MacParams mac, EnergyMo
   }
 }
 
-std::vector<NodeId> Network::neighbors_within(NodeId center, double radius_m,
-                                              bool include_down) const {
+void Network::neighbors_within(NodeId center, double radius_m, bool include_down,
+                               std::vector<NodeId>& out) const {
+  out.clear();
   const Point c = position(center);
   const double r2 = radius_m * radius_m;
-  std::vector<NodeId> out;
-  for (const auto& n : nodes_) {
-    if (n.id == center) continue;
-    if (!include_down && !n.up) continue;
-    if (distance_sq(n.pos, c) <= r2) out.push_back(n.id);
+  if (!use_grid_) {
+    // Tiny deployment: a linear pass over the contiguous node array beats
+    // the grid's hash lookups, and it yields ascending ids for free.
+    for (const Node& n : nodes_) {
+      if (n.id == center) continue;
+      if (!include_down && !n.up) continue;
+      if (distance_sq(n.pos, c) <= r2) out.push_back(n.id);
+    }
+    return;
   }
-  return out;
+  grid_.visit_disc(c, radius_m, [&](std::uint32_t v) {
+    const Node& n = nodes_[v];
+    if (n.id == center) return;
+    if (!include_down && !n.up) return;
+    // The exact inclusion test matches the historical brute-force scan
+    // bit-for-bit; the grid only pre-filters candidates.
+    if (distance_sq(n.pos, c) <= r2) out.push_back(n.id);
+  });
+  // Cell visitation order is spatial, not by id: restore the ascending-id
+  // contract every consumer (and every RNG draw sequence) depends on.
+  std::sort(out.begin(), out.end());
 }
 
 std::size_t Network::contention_count(NodeId center, double radius_m) const {
   const Point c = position(center);
   const double r2 = radius_m * radius_m;
   std::size_t count = 0;
-  for (const auto& n : nodes_) {
-    if (n.id == center || !n.up) continue;
-    if (distance_sq(n.pos, c) <= r2) ++count;
+  if (!use_grid_) {
+    for (const Node& n : nodes_) {
+      if (n.id == center || !n.up) continue;
+      if (distance_sq(n.pos, c) <= r2) ++count;
+    }
+    return count;
   }
+  grid_.visit_disc(c, radius_m, [&](std::uint32_t v) {
+    const Node& n = nodes_[v];
+    if (n.id == center || !n.up) return;
+    if (distance_sq(n.pos, c) <= r2) ++count;
+  });
   return count;
 }
 
@@ -126,22 +158,31 @@ sim::Duration Network::access_delay(const Node& n, const OutgoingFrame& f) {
 
 void Network::send_unqueued(Node& n, OutgoingFrame frame) {
   // Paper-style MAC: the frame neither waits for the node's earlier frames
-  // nor occupies the channel; it simply takes access-delay + airtime.
+  // nor occupies the channel; it simply takes access-delay + airtime.  The
+  // frame rides a pooled context so both events capture three words.
   const NodeId id = n.id;
-  sim_.after(access_delay(n, frame), [this, id, frame = std::move(frame)] {
+  const sim::Duration delay = access_delay(n, frame);
+  FrameCtx* ctx = acquire_frame_ctx();
+  ctx->frame = std::move(frame);
+  sim_.after(delay, [this, id, ctx] {
     Node& sender = nodes_[id.v];
     if (sender.battery.depleted()) {
       ++counters_.dropped_battery_dead;  // drained during the backoff
+      release_frame_ctx(ctx);
       return;
     }
     if (!sender.up) {
       ++counters_.dropped_sender_down;  // crashed during the backoff
+      release_frame_ctx(ctx);
       return;
     }
-    charge_node_tx(sender, tx_energy_uj(frame.packet.size_bytes, frame.level), frame.use);
-    count_tx(frame.packet);
-    sim_.after(airtime(frame.packet.size_bytes),
-               [this, id, frame] { deliver_frame(nodes_[id.v], frame); });
+    const OutgoingFrame& f = ctx->frame;
+    charge_node_tx(sender, tx_energy_uj(f.packet.size_bytes, f.level), f.use);
+    count_tx(f.packet);
+    sim_.after(airtime(f.packet.size_bytes), [this, id, ctx] {
+      deliver_frame(nodes_[id.v], ctx->frame);
+      release_frame_ctx(ctx);
+    });
   });
 }
 
@@ -192,26 +233,68 @@ void Network::mac_begin_tx(Node& n) {
   const auto end = sim_.now() + airtime(f.packet.size_bytes);
   if (mac_.carrier_sense) {
     // Occupy the channel across the coverage disc (the transmitter included).
+    // Visitation order is irrelevant: stamping a max is commutative.
     if (end > n.channel_busy_until) n.channel_busy_until = end;
     const double r2 = f.coverage_m * f.coverage_m;
-    for (auto& other : nodes_) {
-      if (other.id == n.id) continue;
-      if (distance_sq(other.pos, n.pos) <= r2 && end > other.channel_busy_until) {
-        other.channel_busy_until = end;
+    if (!use_grid_) {
+      for (Node& other : nodes_) {
+        if (other.id == n.id) continue;
+        if (distance_sq(other.pos, n.pos) <= r2 && end > other.channel_busy_until) {
+          other.channel_busy_until = end;
+        }
       }
+    } else {
+      grid_.visit_disc(n.pos, f.coverage_m, [&](std::uint32_t v) {
+        Node& other = nodes_[v];
+        if (other.id == n.id) return;
+        if (distance_sq(other.pos, n.pos) <= r2 && end > other.channel_busy_until) {
+          other.channel_busy_until = end;
+        }
+      });
     }
   }
   NodeId id = n.id;
   n.mac_event = sim_.at(end, [this, id] { mac_complete_tx(nodes_[id.v]); });
 }
 
+Network::DeliveryCtx* Network::acquire_delivery_ctx() {
+  if (delivery_free_.empty()) {
+    delivery_store_.push_back(std::make_unique<DeliveryCtx>());
+    return delivery_store_.back().get();
+  }
+  DeliveryCtx* ctx = delivery_free_.back();
+  delivery_free_.pop_back();
+  return ctx;
+}
+
+void Network::release_delivery_ctx(DeliveryCtx* ctx) {
+  ctx->processors.clear();
+  delivery_free_.push_back(ctx);
+}
+
+Network::FrameCtx* Network::acquire_frame_ctx() {
+  if (frame_free_.empty()) {
+    frame_store_.push_back(std::make_unique<FrameCtx>());
+    return frame_store_.back().get();
+  }
+  FrameCtx* ctx = frame_free_.back();
+  frame_free_.pop_back();
+  return ctx;
+}
+
+void Network::release_frame_ctx(FrameCtx* ctx) { frame_free_.push_back(ctx); }
+
 void Network::deliver_frame(const Node& sender, const OutgoingFrame& frame) {
-  // Every alive node inside the engineered disc hears the frame.
-  const auto hearers = neighbors_within(sender.id, frame.coverage_m, /*include_down=*/false);
+  // Every alive node inside the engineered disc hears the frame.  The
+  // hearer list lives in a per-Network scratch buffer (delivery never
+  // nests) and the receiver list comes from the vector pool, so a settled
+  // run delivers without allocating.
+  neighbors_within(sender.id, frame.coverage_m, /*include_down=*/false, scratch_hearers_);
   const Packet& p = frame.packet;
-  std::vector<NodeId> processors;
-  processors.reserve(hearers.size());
-  for (NodeId h : hearers) {
+  DeliveryCtx* ctx = acquire_delivery_ctx();
+  std::vector<NodeId>& processors = ctx->processors;
+  processors.reserve(scratch_hearers_.size());
+  for (NodeId h : scratch_hearers_) {
     if (nodes_[h.v].battery.depleted()) {
       // A drained receiver cannot decode: no rx charge, no processing, and
       // no link-fault draw (keeping the fault stream's draw sequence a
@@ -232,12 +315,17 @@ void Network::deliver_frame(const Node& sender, const OutgoingFrame& frame) {
     }
     if (addressed) processors.push_back(h);
   }
-  if (processors.empty()) return;
+  if (processors.empty()) {
+    release_delivery_ctx(ctx);
+    return;
+  }
   // One event covers all receivers: t_proc is a constant, so their
   // callbacks fire at the same instant; iteration order (ascending id)
-  // keeps runs deterministic.
-  sim_.after(mac_.t_proc, [this, processors = std::move(processors), pkt = frame.packet] {
-    for (NodeId h : processors) {
+  // keeps runs deterministic.  The context returns to the pool once the
+  // event has run; copy-assigning the packet reuses pooled capacity.
+  ctx->pkt = frame.packet;
+  sim_.after(mac_.t_proc, [this, ctx] {
+    for (NodeId h : ctx->processors) {
       Node& r = nodes_[h.v];
       if (r.battery.depleted()) {
         ++counters_.dropped_battery_dead;  // drained between rx and t_proc
@@ -249,16 +337,16 @@ void Network::deliver_frame(const Node& sender, const OutgoingFrame& frame) {
       }
       if (r.agent != nullptr) {
         ++counters_.deliveries;
-        r.agent->on_receive(pkt);
+        r.agent->on_receive(ctx->pkt);
       }
     }
+    release_delivery_ctx(ctx);
   });
 }
 
 void Network::mac_complete_tx(Node& n) {
   assert(n.mac_busy && !n.mac_queue.empty());
-  OutgoingFrame frame = std::move(n.mac_queue.front());
-  n.mac_queue.pop_front();
+  OutgoingFrame frame = n.mac_queue.pop_front();
 
   deliver_frame(n, frame);
 

@@ -2,11 +2,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "net/node.hpp"
 #include "net/params.hpp"
 #include "net/radio.hpp"
+#include "net/spatial_grid.hpp"
 #include "sim/simulation.hpp"
 
 /// \file network.hpp
@@ -22,6 +24,13 @@
 ///    Section 4.1).  Receivers process a frame t_proc after it arrives.
 ///  * A down node transmits nothing, hears nothing, and loses its MAC queue
 ///    the moment it fails ("any scheduled packet transfer is cancelled").
+///
+/// Hot-path note: every disc query (neighbor lookup, contention count,
+/// carrier-sense occupation, frame delivery) runs over a SpatialGrid keyed
+/// on the zone radius instead of scanning all nodes; set_position() keeps
+/// the grid coherent under mobility.  Results are exactly those of the
+/// brute-force scan — same inclusive d^2 <= r^2 test, ascending-id order —
+/// so RNG draw sequences and run results stay byte-identical.
 
 namespace spms::net {
 
@@ -75,7 +84,16 @@ class Network {
   /// in ascending id order.  `include_down` keeps failed nodes in the list
   /// (zone membership ignores transient failures; contention does not).
   [[nodiscard]] std::vector<NodeId> neighbors_within(NodeId center, double radius_m,
-                                                     bool include_down = true) const;
+                                                     bool include_down = true) const {
+    std::vector<NodeId> out;
+    neighbors_within(center, radius_m, include_down, out);
+    return out;
+  }
+
+  /// Allocation-free variant: clears and refills `out` (reusing its
+  /// capacity).  Same contents and ascending-id order as the value overload.
+  void neighbors_within(NodeId center, double radius_m, bool include_down,
+                        std::vector<NodeId>& out) const;
 
   /// Number of alive nodes strictly other than `center` within the disc;
   /// the contention count n of the MAC model.
@@ -141,8 +159,13 @@ class Network {
   /// Crashes or repairs a node, firing the agent hooks.  Idempotent.
   void set_up(NodeId id, bool up);
 
-  /// Teleports a node (mobility model); routing rebuild is the caller's job.
-  void set_position(NodeId id, Point p) { nodes_.at(id.v).pos = p; }
+  /// Teleports a node (mobility model), keeping the spatial index coherent;
+  /// routing rebuild is the caller's job.
+  void set_position(NodeId id, Point p) {
+    Node& n = nodes_.at(id.v);
+    grid_.move(id.v, n.pos, p);
+    n.pos = p;
+  }
 
   // --- direct energy charging (used by the routing layer's DBF accounting) ----
   /// Charges transmit energy for `bytes` at the cheapest level covering
@@ -211,6 +234,28 @@ class Network {
   /// One idle-drain tick: charge every non-depleted node, reschedule.
   void idle_drain_tick();
 
+  /// Pooled delivery context: the receiver list plus the packet a t_proc
+  /// event processes.  The event captures only the context pointer (so the
+  /// callback fits the scheduler's inline buffer) and copy-assignment into
+  /// the pooled packet reuses its route-vector capacity, so a settled run
+  /// delivers frames without allocating.  Pointers stay stable because the
+  /// pool owns contexts through unique_ptr.
+  struct DeliveryCtx {
+    std::vector<NodeId> processors;
+    Packet pkt;
+  };
+  [[nodiscard]] DeliveryCtx* acquire_delivery_ctx();
+  void release_delivery_ctx(DeliveryCtx* ctx);
+
+  /// Pooled in-flight frame for the infinite-parallelism MAC path, for the
+  /// same reason: the backoff and airtime events capture a pointer instead
+  /// of the frame itself.
+  struct FrameCtx {
+    OutgoingFrame frame;
+  };
+  [[nodiscard]] FrameCtx* acquire_frame_ctx();
+  void release_frame_ctx(FrameCtx* ctx);
+
   sim::Simulation& sim_;
   RadioTable radio_;
   MacParams mac_;
@@ -218,6 +263,23 @@ class Network {
   BatteryParams battery_;
   std::vector<Node> nodes_;
   double zone_radius_m_;
+  /// Spatial index over node positions, keyed on the zone radius (the
+  /// dominant query).  Membership covers *all* nodes, up or down — queries
+  /// filter liveness — and set_position keeps it coherent.
+  SpatialGrid grid_;
+  /// Query-side cutover: deployments below this size answer disc queries by
+  /// scanning the contiguous node array (cheaper than cell hashing, same
+  /// results in the same order).  The grid is maintained regardless.
+  static constexpr std::size_t kGridMinNodes = 64;
+  bool use_grid_ = true;
+  /// Scratch hearer list reused by every deliver_frame call.  Safe because
+  /// delivery is non-reentrant: nothing inside the hearer loop queries
+  /// neighbors (agents only run later, on the t_proc event).
+  mutable std::vector<NodeId> scratch_hearers_;
+  std::vector<std::unique_ptr<DeliveryCtx>> delivery_store_;
+  std::vector<DeliveryCtx*> delivery_free_;
+  std::vector<std::unique_ptr<FrameCtx>> frame_store_;
+  std::vector<FrameCtx*> frame_free_;
   NetCounters counters_;
   StateChangeFn on_state_change_;
   LinkFaultFn link_fault_;

@@ -1,8 +1,7 @@
 #pragma once
 
-#include <deque>
-
 #include "net/energy.hpp"
+#include "net/frame_queue.hpp"
 #include "net/geometry.hpp"
 #include "net/ids.hpp"
 #include "net/packet.hpp"
@@ -32,14 +31,6 @@ class Agent {
   virtual void on_up() {}
 };
 
-/// One frame queued at a node's MAC, with its engineered coverage disc.
-struct OutgoingFrame {
-  Packet packet;
-  std::size_t level = 0;    ///< radio table index used (for TX power)
-  double coverage_m = 0.0;  ///< disc radius the transmission must cover
-  EnergyUse use = EnergyUse::kProtocol;
-};
-
 /// Per-node state owned by the Network.
 struct Node {
   NodeId id;
@@ -49,8 +40,9 @@ struct Node {
   Battery battery;
   Agent* agent = nullptr;  ///< non-owning; protocols outlive the run
 
-  // MAC state: one transmission at a time, FIFO queue behind it.
-  std::deque<OutgoingFrame> mac_queue;
+  // MAC state: one transmission at a time, FIFO queue behind it (a grow-only
+  // ring; see frame_queue.hpp).
+  FrameQueue mac_queue;
   bool mac_busy = false;
   sim::EventHandle mac_event;  ///< pending access-delay or tx-complete event
 

@@ -1,10 +1,9 @@
 #include "routing/bellman_ford.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <queue>
-#include <unordered_map>
 
 namespace spms::routing {
 
@@ -12,10 +11,36 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+constexpr std::size_t kNoEntry = static_cast<std::size_t>(-1);
+
+/// Above this node count the dense per-node destination index (n ids per
+/// node, so O(n^2) memory total) is skipped in favour of binary search over
+/// the sorted destination list.
+constexpr std::size_t kDenseIndexMaxNodes = 4096;
+
 /// Advertised distance-vector state of one node during the DBF run.
+///
+/// A node's destination set is fixed the moment its vector is initialized
+/// (itself plus its zone — synchronous relaxation never adds entries), so
+/// instead of a hash map the vector is a sorted destination list with a
+/// parallel (cost, hops) array.  The destination list never changes across
+/// rounds, so only `val` is double-buffered and the per-round state copy is
+/// a flat memcpy that reuses capacity, instead of rebuilding node-count
+/// hash maps (which used to dominate the rebuild's allocation count).
+/// Entry order is sorted by id rather than hash order; every
+/// per-destination relaxation is independent, so results are unchanged.
 struct NodeVec {
-  // dest -> (cost, hops); the node's own id maps to (0, 0).
-  std::unordered_map<net::NodeId, std::pair<double, int>> dist;
+  std::vector<net::NodeId> dests;           ///< sorted; includes the node itself
+  std::vector<std::size_t> slot_of;         ///< dense: slot_of[dest.v] or kNoEntry
+  std::vector<std::pair<double, int>> val;  ///< (cost, hops), parallel to dests
+
+  /// Index of `dest` or kNoEntry when the node does not advertise it.
+  [[nodiscard]] std::size_t find(net::NodeId dest) const {
+    if (!slot_of.empty()) return slot_of[dest.v];
+    const auto it = std::lower_bound(dests.begin(), dests.end(), dest);
+    if (it == dests.end() || *it != dest) return kNoEntry;
+    return static_cast<std::size_t>(it - dests.begin());
+  }
 };
 
 }  // namespace
@@ -30,25 +55,48 @@ DbfStats RoutingService::rebuild() {
   const std::size_t n = net_.size();
   tables_.assign(n, RoutingTable{});
 
-  // Cache link weights w(u,v) for v in zone(u); zone membership guarantees
-  // the link exists (zone radius <= max radio range).
-  std::vector<std::unordered_map<net::NodeId, double>> weight(n);
+  // Cache link weights w(u,v) for v in zone(u), parallel to the zone list;
+  // zone membership guarantees the link exists (zone radius <= max radio
+  // range).
+  std::vector<std::vector<double>> weight(n);
   for (std::size_t u = 0; u < n; ++u) {
     const net::NodeId uid{static_cast<std::uint32_t>(u)};
-    for (const net::NodeId v : zones_->zone(uid)) {
+    const auto& zone = zones_->zone(uid);
+    weight[u].reserve(zone.size());
+    for (const net::NodeId v : zone) {
       const auto w = net_.radio().min_power_for(net_.distance_between(uid, v));
       assert(w.has_value());
-      weight[u].emplace(v, *w);
+      weight[u].push_back(*w);
     }
   }
 
   // Initial vectors: self at cost 0; every zone neighbor via the direct link.
+  // The zone list is sorted ascending, so splicing the node's own id into it
+  // keeps `dests` sorted for binary-search lookup.
   std::vector<NodeVec> vec(n);
   for (std::size_t u = 0; u < n; ++u) {
     const net::NodeId uid{static_cast<std::uint32_t>(u)};
-    vec[u].dist.emplace(uid, std::make_pair(0.0, 0));
-    for (const net::NodeId v : zones_->zone(uid)) {
-      vec[u].dist.emplace(v, std::make_pair(weight[u].at(v), 1));
+    const auto& zone = zones_->zone(uid);
+    NodeVec& nv = vec[u];
+    nv.dests.reserve(zone.size() + 1);
+    nv.val.reserve(zone.size() + 1);
+    bool self_placed = false;
+    for (std::size_t j = 0; j < zone.size(); ++j) {
+      if (!self_placed && uid < zone[j]) {
+        nv.dests.push_back(uid);
+        nv.val.emplace_back(0.0, 0);
+        self_placed = true;
+      }
+      nv.dests.push_back(zone[j]);
+      nv.val.emplace_back(weight[u][j], 1);
+    }
+    if (!self_placed) {
+      nv.dests.push_back(uid);
+      nv.val.emplace_back(0.0, 0);
+    }
+    if (n <= kDenseIndexMaxNodes) {
+      nv.slot_of.assign(n, kNoEntry);
+      for (std::size_t i = 0; i < nv.dests.size(); ++i) nv.slot_of[nv.dests[i].v] = i;
     }
   }
 
@@ -56,6 +104,9 @@ DbfStats RoutingService::rebuild() {
   const double energy_before = net_.energy().routing_uj();
 
   bool changed = true;
+  // Next-round values only: dests/slot_of never change, so the round copy is
+  // a capacity-reusing memcpy of the (cost, hops) arrays.
+  std::vector<std::vector<std::pair<double, int>>> next_val(n);
   while (changed && stats.rounds < params_.max_rounds) {
     ++stats.rounds;
     changed = false;
@@ -65,7 +116,7 @@ DbfStats RoutingService::rebuild() {
       for (std::size_t u = 0; u < n; ++u) {
         const net::NodeId uid{static_cast<std::uint32_t>(u)};
         const std::size_t bytes =
-            params_.header_bytes + params_.bytes_per_entry * (vec[u].dist.size() - 1);
+            params_.header_bytes + params_.bytes_per_entry * (vec[u].dests.size() - 1);
         net_.charge_tx(uid, bytes, net_.zone_radius(), net::EnergyUse::kRouting);
         for (const net::NodeId v : zones_->zone(uid)) {
           net_.charge_rx(v, bytes, net::EnergyUse::kRouting);
@@ -78,18 +129,23 @@ DbfStats RoutingService::rebuild() {
     }
 
     // Synchronous relaxation against the previous round's vectors.
-    std::vector<NodeVec> next = vec;
     for (std::size_t u = 0; u < n; ++u) {
       const net::NodeId uid{static_cast<std::uint32_t>(u)};
-      for (auto& [dest, entry] : next[u].dist) {
+      const auto& zone = zones_->zone(uid);
+      const NodeVec& cu = vec[u];
+      next_val[u] = cu.val;
+      for (std::size_t di = 0; di < cu.dests.size(); ++di) {
+        const net::NodeId dest = cu.dests[di];
         if (dest == uid) continue;
+        auto& entry = next_val[u][di];
         double best = entry.first;
         int best_hops = entry.second;
-        for (const net::NodeId v : zones_->zone(uid)) {
-          const auto it = vec[v.v].dist.find(dest);
-          if (it == vec[v.v].dist.end()) continue;  // v does not advertise dest
-          const double cand = weight[u].at(v) + it->second.first;
-          const int cand_hops = it->second.second + 1;
+        for (std::size_t j = 0; j < zone.size(); ++j) {
+          const net::NodeId v = zone[j];
+          const std::size_t vi = vec[v.v].find(dest);
+          if (vi == kNoEntry) continue;  // v does not advertise dest
+          const double cand = weight[u][j] + vec[v.v].val[vi].first;
+          const int cand_hops = vec[v.v].val[vi].second + 1;
           // Tie-break on hop count then on neighbor id for determinism.
           if (cand < best || (cand == best && cand_hops < best_hops)) {
             best = cand;
@@ -102,7 +158,7 @@ DbfStats RoutingService::rebuild() {
         }
       }
     }
-    vec = std::move(next);
+    for (std::size_t u = 0; u < n; ++u) std::swap(vec[u].val, next_val[u]);
   }
   stats.converged = !changed;
 
@@ -111,12 +167,14 @@ DbfStats RoutingService::rebuild() {
   // to the destination through each of its neighbors" the paper stores.
   for (std::size_t u = 0; u < n; ++u) {
     const net::NodeId uid{static_cast<std::uint32_t>(u)};
-    for (const net::NodeId dest : zones_->zone(uid)) {
+    const auto& zone = zones_->zone(uid);
+    for (const net::NodeId dest : zone) {
       Route best, second;
-      for (const net::NodeId v : zones_->zone(uid)) {
-        const auto it = vec[v.v].dist.find(dest);
-        if (it == vec[v.v].dist.end()) continue;
-        Route cand{v, weight[u].at(v) + it->second.first, it->second.second + 1};
+      for (std::size_t j = 0; j < zone.size(); ++j) {
+        const net::NodeId v = zone[j];
+        const std::size_t vi = vec[v.v].find(dest);
+        if (vi == static_cast<std::size_t>(-1)) continue;
+        Route cand{v, weight[u][j] + vec[v.v].val[vi].first, vec[v.v].val[vi].second + 1};
         const bool better_than_best =
             cand.cost < best.cost ||
             (cand.cost == best.cost && (cand.hops < best.hops ||

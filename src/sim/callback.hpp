@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+/// \file callback.hpp
+/// A small-buffer-optimized, move-only `void()` callable for the event loop.
+///
+/// `std::function` heap-allocates any closure bigger than two pointers, and
+/// the simulator's protocol timers routinely capture (this, NodeId, DataId) —
+/// just over that limit — so the seed core paid one allocation per scheduled
+/// event.  InlineFn stores closures up to kInlineBytes in place (every MAC
+/// and protocol-timer closure fits) and only falls back to the heap for the
+/// rare large capture (e.g. a delivery closure carrying a Packet).
+///
+/// Differences from std::function, on purpose:
+///  * move-only (the scheduler never copies events);
+///  * no target-type introspection, no allocator support;
+///  * invoking an empty InlineFn is undefined (the scheduler asserts).
+
+namespace spms::sim {
+
+class InlineFn {
+ public:
+  /// Inline storage size.  48 bytes holds a capture of six pointers — ample
+  /// for (this, id, item)-style timer closures and a whole std::function.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineFn() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): callable adaptor
+    using T = std::remove_cvref_t<F>;
+    if constexpr (sizeof(T) <= kInlineBytes && alignof(T) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<T>) {
+      ::new (static_cast<void*>(buf_)) T(std::forward<F>(f));
+      ops_ = &kInlineOps<T>;
+    } else {
+      ::new (static_cast<void*>(buf_)) T*(new T(std::forward<F>(f)));
+      ops_ = &kHeapOps<T>;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  /// Destroys the held callable (no-op when empty).
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs the callable from `src` storage into `dst` storage
+    /// and destroys the source (both point at kInlineBytes buffers).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename T>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*static_cast<T*>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) T(std::move(*static_cast<T*>(src)));
+        static_cast<T*>(src)->~T();
+      },
+      [](void* p) { static_cast<T*>(p)->~T(); },
+  };
+
+  template <typename T>
+  static constexpr Ops kHeapOps{
+      [](void* p) { (**static_cast<T**>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) T*(*static_cast<T**>(src));
+      },
+      [](void* p) { delete *static_cast<T**>(p); },
+  };
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+};
+
+}  // namespace spms::sim

@@ -1,24 +1,44 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 /// \file scheduler.hpp
 /// The event loop at the heart of the discrete-event simulator.
 ///
-/// Events are closures ordered by (time, insertion sequence); ties on the
-/// clock break FIFO which makes runs deterministic.  Cancellation is lazy:
-/// cancelled ids are skipped when popped, so cancel() is O(1).
+/// Events are callbacks ordered by (time, insertion sequence); ties on the
+/// clock break FIFO, which makes runs deterministic.  The queue is an
+/// intrusive, handle-indexed 4-ary min-heap:
+///
+///  * heap_ holds 24-byte {time, seq, slot} entries — sift operations move
+///    PODs, never callbacks;
+///  * slots_ holds the callbacks plus, per slot, the entry's current heap
+///    position (so cancel() can remove it in O(log n)) and a generation
+///    counter;
+///  * an EventHandle packs (generation << 32 | slot+1).  Firing or
+///    cancelling bumps the slot's generation, so a stale handle — already
+///    fired, already cancelled, or from a recycled slot — never matches and
+///    cancel() on it is a harmless no-op.
+///
+/// Invariants:
+///  * slots_[heap_[i].slot].heap_pos == i for every queued entry;
+///  * a slot is queued iff its generation matches some live handle;
+///    free slots chain through heap_pos as a free list;
+///  * seq increases by one per schedule_*() call (never reused), so FIFO
+///    tie-breaking is identical to the seed scheduler's and byte-for-byte
+///    reproducibility is preserved;
+///  * pending() == heap_.size() — O(1), no side tables: cancellation is
+///    true removal, so there are no dead entries to discount (the seed's
+///    lazy-cancel live_/cancelled_ hash sets are gone).
 
 namespace spms::sim {
 
-/// Callback invoked when an event fires.
-using EventFn = std::function<void()>;
+/// Callback invoked when an event fires (small-buffer-optimized; see
+/// callback.hpp — typical closures schedule without allocating).
+using EventFn = InlineFn;
 
 /// Opaque handle to a scheduled event; used only for cancellation.
 /// A default-constructed handle is invalid and safe to cancel (a no-op).
@@ -27,7 +47,7 @@ struct EventHandle {
   [[nodiscard]] bool valid() const { return id != 0; }
 };
 
-/// Priority-queue event scheduler.
+/// Handle-indexed 4-ary-heap event scheduler.
 ///
 /// Usage:
 ///   Scheduler s;
@@ -49,8 +69,9 @@ class Scheduler {
   /// Schedules `fn` after delay `d` from now.  Negative delays clamp to 0.
   EventHandle schedule_after(Duration d, EventFn fn);
 
-  /// Cancels a pending event.  Cancelling an already-fired, already-
-  /// cancelled, or invalid handle is a harmless no-op.
+  /// Cancels a pending event: O(log n) true removal from the heap.
+  /// Cancelling an already-fired, already-cancelled, or invalid handle is a
+  /// harmless no-op (the generation check rejects stale handles).
   void cancel(EventHandle h);
 
   /// Runs the next pending event.  Returns false if the queue is empty.
@@ -65,37 +86,53 @@ class Scheduler {
   /// stops the loop (callers treat this as a failed run).
   std::size_t run(std::size_t max_events = kDefaultMaxEvents);
 
-  /// Number of live (non-cancelled) pending events.
-  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  /// Number of pending events — O(1) off the heap size.
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
 
-  /// True if the guard in run() tripped.
+  /// True if the guard in run() ever tripped (sticky across run() calls: a
+  /// poisoned run stays poisoned even if a later drain succeeds).
   [[nodiscard]] bool event_limit_hit() const { return limit_hit_; }
 
   static constexpr std::size_t kDefaultMaxEvents = 500'000'000;
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// One heap entry: the ordering key plus the index of its slot.  Sift
+  /// operations move these 24-byte PODs; the callback never moves.
+  struct HeapEntry {
     TimePoint at;
     std::uint64_t seq = 0;
-    std::uint64_t id = 0;
+    std::uint32_t slot = 0;
+  };
+
+  /// Callback storage, handle generation, and the entry's heap position
+  /// (doubles as the next-free link while the slot is on the free list).
+  struct Slot {
     EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+    std::uint32_t gen = 1;
+    std::uint32_t heap_pos = 0;
   };
 
-  /// Pops the next non-cancelled entry into `out`; false if none remain.
-  bool pop_live(Entry& out);
+  [[nodiscard]] static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  /// Ids still in the queue and not cancelled.  cancel() consults this so a
-  /// stale handle (already fired or already cancelled) never pollutes
-  /// cancelled_, which must only ever name entries still queued.
-  std::unordered_set<std::uint64_t> live_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  [[nodiscard]] std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t s);
+
+  /// Moves heap_[pos] up/down to restore the heap invariant, maintaining
+  /// slots_[*].heap_pos.  Returns the entry's final position.
+  std::uint32_t sift_up(std::uint32_t pos);
+  std::uint32_t sift_down(std::uint32_t pos);
+
+  /// Removes the entry at heap position `pos` (swap-with-last + re-sift).
+  void remove_heap_at(std::uint32_t pos);
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
   TimePoint now_;
   std::uint64_t next_seq_ = 1;
   bool limit_hit_ = false;
