@@ -232,7 +232,7 @@ BENCHMARK(BM_MacBroadcastGrid)->Arg(25)->Arg(50)->Arg(100)->Unit(benchmark::kMil
 
 // --- end to end --------------------------------------------------------------
 
-void BM_EndToEndSmallRun(benchmark::State& state) {
+void run_end_to_end(benchmark::State& state, const exp::TelemetryOptions& telemetry) {
   // Full stack (deployment, DBF, protocol, MAC, collector) on the paper's
   // small grid.  Construction is part of the measured work on purpose: a
   // run_experiment call is the unit the batch engine parallelizes.
@@ -245,13 +245,31 @@ void BM_EndToEndSmallRun(benchmark::State& state) {
     cfg.node_count = 25;
     cfg.zone_radius_m = 15.0;
     cfg.traffic.packets_per_node = 1;
-    const auto r = exp::run_experiment(cfg);
+    const auto r = exp::run_experiment(cfg, telemetry);
     events += static_cast<std::int64_t>(r.events_executed);
     benchmark::DoNotOptimize(&r);
   }
   state.SetItemsProcessed(events);
 }
+
+void BM_EndToEndSmallRun(benchmark::State& state) {
+  // The telemetry-disabled path: this is the bench the CI perf gate compares
+  // against BENCH_micro_core.json, so it pins the zero-cost-when-off claim.
+  run_end_to_end(state, exp::TelemetryOptions{});
+}
 BENCHMARK(BM_EndToEndSmallRun)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndSmallRunTelemetry(benchmark::State& state) {
+  // Everything on: full metric catalog, per-kind trace counters, 5ms gauge
+  // sampling, and a trace ring — the worst-case in-memory telemetry load.
+  // Compare events/sec against BM_EndToEndSmallRun for the enabled-path cost.
+  exp::TelemetryOptions telemetry;
+  telemetry.metrics = true;
+  telemetry.sample_every_ms = 5.0;
+  telemetry.trace_ring = 4096;
+  run_end_to_end(state, telemetry);
+}
+BENCHMARK(BM_EndToEndSmallRunTelemetry)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -69,7 +69,8 @@ using namespace spms;
          "       [--sink-churn] [--battery-capacity UJ] [--battery-hetero H]\n"
          "       [--cluster] [--sink] [--random-deployment]\n"
          "       [--cross-zone TTL] [--relay-caching] [--scones N] [--rx-power MW]\n"
-         "       [--paper-mac] [--format table|csv|json] [--csv]\n";
+         "       [--paper-mac] [--format table|csv|json] [--csv]\n"
+         "       [--trace-out FILE] [--metrics-out FILE] [--sample-every-ms T]\n";
   std::exit(2);
 }
 
@@ -450,6 +451,12 @@ int main(int argc, char** argv) {
 
   std::string scenario;
   ScenarioOptions sopt;
+  // Telemetry is single-run only: batch jobs run concurrently and would
+  // race on the output files, so the flags stay off the scenario-allowed
+  // list below and mixing them with --scenario errors like any other
+  // single-run flag.  Telemetry never feeds the config (or the store key):
+  // a traced run returns the same result bytes as an untraced one.
+  exp::TelemetryOptions telemetry;
 
   // First mode-specific flag seen of each kind: single-run flags do nothing
   // under --scenario (the registry defines the grid) and scenario flags do
@@ -572,6 +579,15 @@ int main(int argc, char** argv) {
       cfg.mac.contention_g_ms = 0.01;
       cfg.proto.tout_adv = sim::Duration::ms(60.0);
       cfg.proto.tout_dat = sim::Duration::ms(120.0);
+    } else if (arg == "--trace-out") {
+      telemetry.trace_out = next();
+      if (telemetry.trace_out.empty()) usage(argv[0]);
+    } else if (arg == "--metrics-out") {
+      telemetry.metrics_out = next();
+      if (telemetry.metrics_out.empty()) usage(argv[0]);
+    } else if (arg == "--sample-every-ms") {
+      telemetry.sample_every_ms = parse_double(next(), argv[0]);
+      if (telemetry.sample_every_ms <= 0.0) usage(argv[0]);
     } else if (arg == "--csv") {
       sopt.format = Format::kCsv;
     } else if (arg == "--help" || arg == "-h") {
@@ -601,7 +617,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto r = exp::run_experiment(cfg);
+  const auto r = exp::run_experiment(cfg, telemetry);
 
   exp::Table t({"metric", "value"});
   t.add_row({"protocol", r.protocol});
@@ -634,8 +650,12 @@ int main(int argc, char** argv) {
   t.add_row({"link-fault drops", std::to_string(r.net_counters.dropped_link_fault)});
   t.add_row({"mobility epochs", std::to_string(r.mobility_epochs)});
   t.add_row({"acquisitions given up", std::to_string(r.given_up)});
+  t.add_row({"unknown-item deliveries", std::to_string(r.unknown_item_deliveries)});
   t.add_row({"simulated time (ms)", exp::fmt(r.sim_time_ms, 1)});
   t.add_row({"events executed", std::to_string(r.events_executed)});
+  if (!r.series.empty()) {
+    t.add_row({"telemetry samples", std::to_string(r.series.samples())});
+  }
 
   print_formatted(t, sopt.format);
   return r.event_limit_hit ? 1 : 0;

@@ -2,7 +2,7 @@
 """Compare a fresh google-benchmark JSON run against a checked-in baseline.
 
 Usage:
-    compare_bench.py BASELINE.json FRESH.json [--threshold 2.0]
+    compare_bench.py BASELINE.json FRESH.json [--threshold 2.0] [--only REGEX]
 
 Gate semantics (the CI perf-smoke job):
   * benchmarks reporting items_per_second (the throughput benches) fail when
@@ -16,12 +16,17 @@ The threshold is deliberately loose (default 2x): the baseline is recorded
 on one machine and the gate runs on another, so this catches algorithmic
 regressions (an accidental O(n) scan creeping back into a hot path shows up
 as 10-100x), not microarchitectural noise.
+
+--only restricts the gate to benchmarks whose name matches the regex —
+used by the telemetry-smoke job to gate just the EndToEndSmallRun pair at a
+tighter threshold without subjecting every microbench to it.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 
 _TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -49,10 +54,19 @@ def main() -> int:
     parser.add_argument("fresh")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="allowed slowdown factor before failing (default 2.0)")
+    parser.add_argument("--only", metavar="REGEX", default=None,
+                        help="gate only benchmarks whose name matches this regex")
     args = parser.parse_args()
 
     base = load_benchmarks(args.baseline)
     fresh = load_benchmarks(args.fresh)
+    if args.only:
+        pattern = re.compile(args.only)
+        base = {n: b for n, b in base.items() if pattern.search(n)}
+        fresh = {n: b for n, b in fresh.items() if pattern.search(n)}
+        if not base:
+            print(f"error: --only {args.only!r} matches nothing in the baseline")
+            return 2
 
     failures = []
     print(f"{'benchmark':<40} {'baseline':>14} {'fresh':>14} {'ratio':>8}  verdict")

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Validate telemetry JSONL files against the checked-in schema.
+
+Usage:
+    validate_telemetry.py [--schema scripts/telemetry_schema.json]
+                          [--trace trace.jsonl] [--metrics metrics.jsonl]
+
+Checks the two file formats TelemetrySession writes:
+
+  * --trace-out: one TraceRecord per line.  Every line must parse, carry the
+    required fields with the right types, use a known kind, and — for kinds
+    that carry a cause — a cause from that kind's enum.  Timestamps must be
+    nondecreasing (records are emitted in dispatch order).
+  * --metrics-out: counter / gauge / histogram / sample lines.  Histogram
+    invariants (counts == bounds + 1 buckets, sorted bounds, bucket counts
+    summing to count) and sample invariants (nondecreasing t_ms, value keys
+    drawn from the gauges declared earlier in the same file) are structural,
+    so they are enforced here rather than listed in the schema file.
+
+Deliberately stdlib-only: the CI image carries no jsonschema package, and the
+formats are flat enough that a few dozen lines beat a dependency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+_TYPE_CHECKS = {
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "array": lambda v: isinstance(v, list),
+    "object": lambda v: isinstance(v, dict),
+}
+
+
+class Checker:
+    def __init__(self, path: str):
+        self.path = path
+        self.errors: list[str] = []
+
+    def error(self, lineno: int, msg: str) -> None:
+        self.errors.append(f"{self.path}:{lineno}: {msg}")
+
+    def check_fields(self, lineno: int, obj: dict, required: dict,
+                     optional: dict | None = None) -> bool:
+        ok = True
+        for field, ftype in required.items():
+            if field not in obj:
+                self.error(lineno, f"missing required field '{field}'")
+                ok = False
+            elif not _TYPE_CHECKS[ftype](obj[field]):
+                self.error(lineno, f"field '{field}' is not a {ftype}: {obj[field]!r}")
+                ok = False
+        allowed = set(required) | set(optional or {})
+        for field, value in obj.items():
+            if field not in allowed:
+                self.error(lineno, f"unknown field '{field}'")
+                ok = False
+            elif optional and field in optional and not _TYPE_CHECKS[optional[field]](value):
+                self.error(lineno, f"field '{field}' is not a {optional[field]}: {value!r}")
+                ok = False
+        return ok
+
+
+def iter_jsonl(path: str, checker: Checker):
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                checker.error(lineno, f"invalid JSON: {e}")
+                continue
+            if not isinstance(obj, dict):
+                checker.error(lineno, "line is not a JSON object")
+                continue
+            yield lineno, obj
+
+
+def validate_trace(path: str, schema: dict) -> Checker:
+    spec = schema["trace"]
+    checker = Checker(path)
+    kinds = set(spec["kinds"])
+    causes = {k: set(v) for k, v in spec["causes"].items()}
+    item_re = re.compile(spec["item_pattern"])
+    records = 0
+    last_t = float("-inf")
+    for lineno, obj in iter_jsonl(path, checker):
+        records += 1
+        if not checker.check_fields(lineno, obj, spec["required_fields"],
+                                    spec["optional_fields"]):
+            continue
+        if obj["t_ms"] < last_t:
+            checker.error(lineno, f"t_ms went backwards ({obj['t_ms']} < {last_t})")
+        last_t = max(last_t, obj["t_ms"])
+        kind = obj["kind"]
+        if kind not in kinds:
+            checker.error(lineno, f"unknown kind '{kind}'")
+            continue
+        if kind in causes:
+            if "cause" not in obj:
+                checker.error(lineno, f"kind '{kind}' requires a cause")
+            elif obj["cause"] not in causes[kind]:
+                checker.error(lineno, f"kind '{kind}' has unknown cause '{obj['cause']}'")
+        elif "cause" in obj:
+            checker.error(lineno, f"kind '{kind}' carries no cause enum")
+        if "item" in obj and not item_re.match(obj["item"]):
+            checker.error(lineno, f"malformed item '{obj['item']}'")
+    print(f"{path}: {records} trace record(s)")
+    return checker
+
+
+def validate_metrics(path: str, schema: dict) -> Checker:
+    spec = schema["metrics"]
+    checker = Checker(path)
+    name_re = re.compile(spec["name_pattern"])
+    gauge_names: set[str] = set()
+    counts = dict.fromkeys(spec["line_types"], 0)
+    last_t = float("-inf")
+    for lineno, obj in iter_jsonl(path, checker):
+        ltype = obj.get("type")
+        if ltype not in counts:
+            checker.error(lineno, f"unknown line type {ltype!r}")
+            continue
+        counts[ltype] += 1
+        if not checker.check_fields(lineno, obj, spec[ltype]["required_fields"]):
+            continue
+        if "name" in obj and not name_re.match(obj["name"]):
+            checker.error(lineno, f"malformed metric name '{obj['name']}'")
+        if ltype == "counter" and obj["value"] < 0:
+            checker.error(lineno, f"counter '{obj['name']}' is negative")
+        elif ltype == "gauge":
+            gauge_names.add(obj["name"])
+        elif ltype == "histogram":
+            bounds, bcounts = obj["bounds"], obj["counts"]
+            if bounds != sorted(bounds):
+                checker.error(lineno, f"histogram '{obj['name']}' bounds not sorted")
+            if len(bcounts) != len(bounds) + 1:
+                checker.error(lineno, f"histogram '{obj['name']}' needs "
+                                      f"{len(bounds) + 1} buckets, has {len(bcounts)}")
+            if sum(bcounts) != obj["count"]:
+                checker.error(lineno, f"histogram '{obj['name']}' bucket counts sum to "
+                                      f"{sum(bcounts)}, count says {obj['count']}")
+        elif ltype == "sample":
+            if obj["t_ms"] < last_t:
+                checker.error(lineno, f"sample t_ms went backwards ({obj['t_ms']} < {last_t})")
+            last_t = max(last_t, obj["t_ms"])
+            stray = set(obj["values"]) - gauge_names
+            if stray:
+                checker.error(lineno, f"sample references undeclared gauge(s): "
+                                      f"{', '.join(sorted(stray))}")
+            for name, value in obj["values"].items():
+                if not _TYPE_CHECKS["number"](value):
+                    checker.error(lineno, f"sample value '{name}' is not a number: {value!r}")
+    summary = ", ".join(f"{n} {t}" for t, n in counts.items())
+    print(f"{path}: {summary}")
+    if counts["counter"] == 0 or counts["gauge"] == 0:
+        checker.error(0, "metrics file declares no counters or no gauges — "
+                         "was telemetry actually enabled?")
+    return checker
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--schema", default="scripts/telemetry_schema.json")
+    parser.add_argument("--trace", help="trace JSONL file (--trace-out output)")
+    parser.add_argument("--metrics", help="metrics JSONL file (--metrics-out output)")
+    args = parser.parse_args()
+    if not args.trace and not args.metrics:
+        parser.error("give at least one of --trace / --metrics")
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+
+    checkers = []
+    if args.trace:
+        checkers.append(validate_trace(args.trace, schema))
+    if args.metrics:
+        checkers.append(validate_metrics(args.metrics, schema))
+
+    errors = [e for c in checkers for e in c.errors]
+    if errors:
+        print(f"\nFAIL: {len(errors)} schema violation(s)")
+        for e in errors[:50]:
+            print(f"  {e}")
+        if len(errors) > 50:
+            print(f"  ... and {len(errors) - 50} more")
+        return 1
+    print("OK: telemetry output conforms to the schema")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,17 +9,18 @@ void Collector::record_publish(net::DataId item, sim::TimePoint at, std::size_t 
   expected_ += expected;
 }
 
-void Collector::record_delivery(net::NodeId /*node*/, net::DataId item, sim::TimePoint at) {
+double Collector::record_delivery(net::NodeId /*node*/, net::DataId item, sim::TimePoint at) {
   const auto it = items_.find(item);
   if (it == items_.end()) {
     ++unknown_;
-    return;
+    return -1.0;
   }
   ++it->second.delivered;
   ++delivered_;
   const double delay_ms_sample = (at - it->second.published_at).to_ms();
   delay_.add(delay_ms_sample);
   delay_pct_.add(delay_ms_sample);
+  return delay_ms_sample;
 }
 
 double Collector::delivery_ratio() const {

@@ -28,7 +28,9 @@ class Collector {
 
   /// Registers a delivery; duplicates per (node,item) are the protocol's
   /// responsibility to prevent and are counted separately if they occur.
-  void record_delivery(net::NodeId node, net::DataId item, sim::TimePoint at);
+  /// Returns the delay sample in milliseconds, or a negative value when the
+  /// item was never published here (counted in unknown_item_deliveries).
+  double record_delivery(net::NodeId node, net::DataId item, sim::TimePoint at);
 
   [[nodiscard]] std::size_t published() const { return published_; }
   [[nodiscard]] std::size_t expected_deliveries() const { return expected_; }

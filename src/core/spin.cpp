@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <sstream>
+
+#include "obs/event_trace.hpp"
 
 namespace spms::core {
 
@@ -53,10 +54,8 @@ void SpinProtocol::broadcast_adv(net::NodeId self, net::DataId item) {
   // SPIN's single power level: everything goes at the zone radius.
   if (net_.send(self, adv, net_.zone_radius())) {
     st.advertised = true;
-    if (sim_.trace().enabled()) {
-      std::ostringstream os;
-      os << "adv " << self << " " << item;
-      sim_.trace().emit(sim_.now(), "spin", os.str());
+    if (sim_.events().enabled()) {
+      sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kSpinAdv, .node = self, .item = item});
     }
   }
 }
@@ -77,10 +76,9 @@ void SpinProtocol::send_req(net::NodeId self, net::DataId item, net::NodeId to) 
   if (net_.send(self, req, net_.zone_radius())) {
     st.pending = true;
     st.advertiser = to;
-    if (sim_.trace().enabled()) {
-      std::ostringstream os;
-      os << "req " << self << " " << item << " to " << to;
-      sim_.trace().emit(sim_.now(), "spin", os.str());
+    if (sim_.events().enabled()) {
+      sim_.events().emit(
+          {.at = sim_.now(), .kind = obs::TraceKind::kSpinReq, .node = self, .peer = to, .item = item});
     }
     arm_retry(self, item);
   }
@@ -165,10 +163,9 @@ void SpinProtocol::handle_data(net::NodeId self, const net::Packet& p) {
   st.pending = false;
   sim_.cancel(st.retry);
   st.retry = sim::EventHandle{};
-  if (sim_.trace().enabled()) {
-    std::ostringstream os;
-    os << "data " << self << " " << p.item << " from " << p.src;
-    sim_.trace().emit(sim_.now(), "spin", os.str());
+  if (sim_.events().enabled()) {
+    sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kSpinData, .node = self,
+                        .peer = p.src, .item = p.item});
   }
   if (interest_.wants(self, p.item)) notify_delivered(self, p.item, sim_.now());
   broadcast_adv(self, p.item);

@@ -4,20 +4,12 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <sstream>
+
+#include "obs/event_trace.hpp"
 
 namespace spms::core {
 
 namespace {
-
-/// Builds "verb node item [extra]" trace lines; call only when enabled.
-std::string trace_line(const char* verb, net::NodeId node, net::DataId item,
-                       std::string_view extra = {}) {
-  std::ostringstream os;
-  os << verb << " " << node << " " << item;
-  if (!extra.empty()) os << " " << extra;
-  return os.str();
-}
 
 /// Quiet-window for the deferral with index `deferrals`: grows geometrically
 /// so a pair stuck behind a long congested phase wakes O(log) times instead
@@ -75,8 +67,8 @@ void SpmsProtocol::broadcast_adv(net::NodeId self, net::DataId item) {
   // (the node's maximum power) — the only SPMS frame that always does.
   if (net_.send(self, adv, net_.zone_radius())) {
     st.advertised = true;
-    if (sim_.trace().enabled()) {
-      sim_.trace().emit(sim_.now(), "spms", trace_line("adv", self, item));
+    if (sim_.events().enabled()) {
+      sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kSpmsAdv, .node = self, .item = item});
     }
   }
 }
@@ -111,10 +103,9 @@ void SpmsProtocol::send_req_via_route(net::NodeId self, net::DataId item, net::N
   ItemState& st = state(self, item);
   req.attempt = static_cast<std::uint16_t>(st.attempts + 1);
   const bool sent = net_.send(self, req, net_.distance_between(self, next));
-  if (sent && sim_.trace().enabled()) {
-    std::ostringstream extra;
-    extra << "to " << target << " via " << next;
-    sim_.trace().emit(sim_.now(), "spms", trace_line("req-multihop", self, item, extra.str()));
+  if (sent && sim_.events().enabled()) {
+    sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kSpmsReqMultihop, .node = self,
+                        .peer = target, .via = next, .item = item});
   }
   ++st.attempts;
   st.last_direct = false;
@@ -137,10 +128,9 @@ void SpmsProtocol::send_req_direct(net::NodeId self, net::DataId item, net::Node
   ItemState& st = state(self, item);
   req.attempt = static_cast<std::uint16_t>(st.attempts + 1);
   const bool sent = net_.send(self, req, net_.distance_between(self, target));
-  if (sent && sim_.trace().enabled()) {
-    std::ostringstream extra;
-    extra << "to " << target;
-    sim_.trace().emit(sim_.now(), "spms", trace_line("req-direct", self, item, extra.str()));
+  if (sent && sim_.events().enabled()) {
+    sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kSpmsReqDirect, .node = self,
+                        .peer = target, .item = item});
   }
   ++st.attempts;
   st.last_direct = true;
@@ -356,8 +346,9 @@ void SpmsProtocol::maybe_forward_metadata(net::NodeId self, const net::Packet& p
   fwd.size_bytes = params_.adv_bytes + 4 * fwd.route.size();  // trail ids on the air
   if (net_.send(self, fwd, net_.zone_radius())) {
     st.adv_forwarded = true;
-    if (sim_.trace().enabled()) {
-      sim_.trace().emit(sim_.now(), "spms", trace_line("courier-adv", self, p.item));
+    if (sim_.events().enabled()) {
+      sim_.events().emit(
+          {.at = sim_.now(), .kind = obs::TraceKind::kSpmsCourierAdv, .node = self, .item = p.item});
     }
   }
 }
@@ -376,10 +367,9 @@ void SpmsProtocol::send_req_cross_zone(net::NodeId self, net::DataId item,
   ItemState& st = state(self, item);
   req.attempt = static_cast<std::uint16_t>(st.attempts + 1);
   const bool sent = net_.send(self, req, net_.distance_between(self, first_hop));
-  if (sent && sim_.trace().enabled()) {
-    std::ostringstream extra;
-    extra << "to " << req.target << " via " << first_hop;
-    sim_.trace().emit(sim_.now(), "spms", trace_line("req-crosszone", self, item, extra.str()));
+  if (sent && sim_.events().enabled()) {
+    sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kSpmsReqCrosszone, .node = self,
+                        .peer = req.target, .via = first_hop, .item = item});
   }
   ++st.attempts;
   st.last_direct = false;
@@ -432,10 +422,9 @@ void SpmsProtocol::answer_req(net::NodeId self, const net::Packet& req) {
 }
 
 void SpmsProtocol::forward_req(net::NodeId self, net::Packet req) {
-  if (sim_.trace().enabled()) {
-    std::ostringstream extra;
-    extra << "for " << req.requester << " to " << req.target;
-    sim_.trace().emit(sim_.now(), "spms", trace_line("relay-req", self, req.item, extra.str()));
+  if (sim_.events().enabled()) {
+    sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kSpmsRelayReq, .node = self,
+                        .peer = req.requester, .via = req.target, .item = req.item});
   }
   if (!req.source_route.empty()) {
     // Cross-zone REQ: consume the pre-planned hop and keep the trail for the
@@ -464,10 +453,9 @@ void SpmsProtocol::forward_req(net::NodeId self, net::Packet req) {
 }
 
 void SpmsProtocol::forward_data(net::NodeId self, net::Packet data) {
-  if (sim_.trace().enabled()) {
-    std::ostringstream extra;
-    extra << "for " << data.requester;
-    sim_.trace().emit(sim_.now(), "spms", trace_line("relay-data", self, data.item, extra.str()));
+  if (sim_.events().enabled()) {
+    sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kSpmsRelayData, .node = self,
+                        .peer = data.requester, .item = data.item});
   }
   assert(!data.route.empty() && data.route.front() == self);
   data.route.erase(data.route.begin());
@@ -504,10 +492,9 @@ void SpmsProtocol::handle_data(net::NodeId self, const net::Packet& p) {
   sim_.cancel(st.adv_timer);
   sim_.cancel(st.dat_timer);
   st.adv_timer = st.dat_timer = sim::EventHandle{};
-  if (sim_.trace().enabled()) {
-    std::ostringstream extra;
-    extra << "from " << p.src;
-    sim_.trace().emit(sim_.now(), "spms", trace_line("data", self, p.item, extra.str()));
+  if (sim_.events().enabled()) {
+    sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kSpmsData, .node = self,
+                        .peer = p.src, .item = p.item});
   }
   if (interest_.wants(self, p.item)) notify_delivered(self, p.item, sim_.now());
   // "a node [advertises] its own data as well as all received data once."

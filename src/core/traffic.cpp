@@ -1,5 +1,7 @@
 #include "core/traffic.hpp"
 
+#include "obs/event_trace.hpp"
+
 namespace spms::core {
 
 TrafficGenerator::TrafficGenerator(sim::Simulation& sim, net::Network& net,
@@ -31,7 +33,12 @@ void TrafficGenerator::start() {
       const net::DataId item{node, static_cast<std::uint32_t>(k)};
       if (t > last_publish_) last_publish_ = t;
       sim_.at(t, [this, node, item] {
-        collector_.record_publish(item, sim_.now(), interest_.expected_count(item));
+        const std::size_t expected = interest_.expected_count(item);
+        collector_.record_publish(item, sim_.now(), expected);
+        if (sim_.events().enabled()) {
+          sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kPublish, .node = node,
+                              .item = item, .value = static_cast<double>(expected)});
+        }
         proto_.publish(node, item);
       });
     }

@@ -38,6 +38,8 @@ AggregateResult aggregate(const std::vector<RunResult>& runs) {
   a.failures_injected = over(runs, [](const RunResult& r) { return r.failures_injected; });
   a.mobility_epochs = over(runs, [](const RunResult& r) { return r.mobility_epochs; });
   a.given_up = over(runs, [](const RunResult& r) { return r.given_up; });
+  a.unknown_item_deliveries =
+      over(runs, [](const RunResult& r) { return r.unknown_item_deliveries; });
   a.sim_time_ms = over(runs, [](const RunResult& r) { return r.sim_time_ms; });
   a.events_executed = over(runs, [](const RunResult& r) { return r.events_executed; });
   a.fault_events = over(runs, [](const RunResult& r) { return r.fault_stats.fault_events; });

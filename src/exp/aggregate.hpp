@@ -37,6 +37,7 @@ struct AggregateResult {
   stats::Aggregate failures_injected;
   stats::Aggregate mobility_epochs;
   stats::Aggregate given_up;
+  stats::Aggregate unknown_item_deliveries;
   stats::Aggregate sim_time_ms;
   stats::Aggregate events_executed;
 

@@ -84,10 +84,15 @@ BatchResult BatchRunner::run(const SweepSpec& spec) const {
   const std::size_t workers =
       std::min(options_.jobs == 0 ? default_jobs() : options_.jobs, pending.size());
 
+  // Per-job telemetry, minus the file outputs (workers would race on them).
+  TelemetryOptions job_telemetry = options_.telemetry;
+  job_telemetry.trace_out.clear();
+  job_telemetry.metrics_out.clear();
+
   std::mutex mu;  // guards on_result + done counter
   std::size_t done = 0;
   const auto execute = [&](const SweepJob& job) {
-    auto result = run_experiment(job.config);
+    auto result = run_experiment(job.config, job_telemetry);
     if (options_.store != nullptr) {
       options_.store->put(keys[job.index], canonical[job.index], result);
     }

@@ -92,6 +92,14 @@ struct BatchOptions {
   /// through, so `done/total` is real progress, not replayed history.
   std::function<void(const SweepJob&, const RunResult&, std::size_t done, std::size_t total)>
       on_result;
+
+  /// Telemetry attached to every *executed* job (cache hits carry none).
+  /// Zero-perturbation by construction, so results — and therefore store
+  /// contents and cache keys — are identical with or without it.  The
+  /// single-file outputs (trace_out / metrics_out) are ignored here: jobs
+  /// run concurrently and would race on the paths; use the in-memory series
+  /// / ring, or run_experiment directly for file capture of a single run.
+  TelemetryOptions telemetry;
 };
 
 /// Executes sweeps.  Stateless apart from its options; reusable.

@@ -5,7 +5,14 @@
 namespace spms::exp {
 
 RunResult run_experiment(const ExperimentConfig& config) {
+  return run_experiment(config, TelemetryOptions{});
+}
+
+RunResult run_experiment(const ExperimentConfig& config, const TelemetryOptions& telemetry) {
   Scenario s{config};
+  // Attached before start() so the very first event is observed; inert (and
+  // cost-free on the hot path) when every option is off.
+  TelemetrySession session{s, telemetry};
   s.start();
   const std::size_t events = s.run();
 
@@ -20,6 +27,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
   r.expected_deliveries = col.expected_deliveries();
   r.deliveries = col.deliveries();
   r.delivery_ratio = col.delivery_ratio();
+  r.unknown_item_deliveries = col.unknown_item_deliveries();
   r.mean_delay_ms = col.delay_ms().mean();
   r.max_delay_ms = col.delay_ms().max();
   // Guarded: quantile() over an empty sample is NaN by contract, and a run
@@ -46,6 +54,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
   r.sim_time_ms = s.simulation().now().to_ms();
   r.events_executed = events;
   r.event_limit_hit = s.simulation().scheduler().event_limit_hit();
+  session.finish(r);  // moves the sampled series in, writes output files
   return r;
 }
 
@@ -65,7 +74,7 @@ RunResult average(const std::vector<RunResult>& runs) {
   const auto n = static_cast<double>(runs.size());
   double delivery = 0, mean_delay = 0, p95 = 0, max_delay = 0, e_item = 0, pe_item = 0;
   net::EnergyBreakdown energy;
-  std::uint64_t given_up = 0, failures = 0;
+  std::uint64_t given_up = 0, failures = 0, unknown = 0;
   for (const auto& r : runs) {
     delivery += r.delivery_ratio;
     mean_delay += r.mean_delay_ms;
@@ -79,6 +88,7 @@ RunResult average(const std::vector<RunResult>& runs) {
     energy.routing_rx_uj += r.energy.routing_rx_uj;
     given_up += r.given_up;
     failures += r.failures_injected;
+    unknown += r.unknown_item_deliveries;
   }
   avg.delivery_ratio = delivery / n;
   avg.mean_delay_ms = mean_delay / n;
@@ -92,6 +102,7 @@ RunResult average(const std::vector<RunResult>& runs) {
   avg.energy.routing_rx_uj = energy.routing_rx_uj / n;
   avg.given_up = given_up;
   avg.failures_injected = failures;
+  avg.unknown_item_deliveries = unknown;
   return avg;
 }
 

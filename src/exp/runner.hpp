@@ -5,9 +5,11 @@
 
 #include "exp/config.hpp"
 #include "exp/scenario.hpp"
+#include "exp/telemetry.hpp"
 #include "faults/observer.hpp"
 #include "net/energy.hpp"
 #include "net/network.hpp"
+#include "obs/series.hpp"
 #include "routing/bellman_ford.hpp"
 
 /// \file runner.hpp
@@ -56,13 +58,30 @@ struct RunResult {
   std::uint64_t failures_injected = 0;
   std::uint64_t mobility_epochs = 0;
   std::uint64_t given_up = 0;
+  /// Deliveries of items the collector never saw published.  Always zero for
+  /// a healthy protocol; serialized (schema v4) so a regression shows up in
+  /// stored results instead of vanishing into a private counter.
+  std::uint64_t unknown_item_deliveries = 0;
   double sim_time_ms = 0.0;
   std::size_t events_executed = 0;
   bool event_limit_hit = false;
+
+  /// Gauge time series sampled by an attached TelemetrySession (empty
+  /// without one).  In-memory only — never serialized to the result store,
+  /// so cached and fresh results stay byte-identical whatever the telemetry
+  /// options were.
+  obs::SeriesSet series;
 };
 
 /// Builds, runs and summarizes one experiment.
 [[nodiscard]] RunResult run_experiment(const ExperimentConfig& config);
+
+/// Same run with telemetry attached for its duration.  Telemetry observes
+/// without perturbing — the event stream, and with it every serialized field
+/// of the result, is byte-identical to the plain overload; only the
+/// in-memory `series` and any requested output files are added.
+[[nodiscard]] RunResult run_experiment(const ExperimentConfig& config,
+                                       const TelemetryOptions& telemetry);
 
 /// Runs the same config across `seeds` and returns the per-seed results
 /// (callers average what they need; benches report means).

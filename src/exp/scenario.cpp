@@ -86,9 +86,13 @@ Scenario::Scenario(const ExperimentConfig& config) : config_(config) {
                                                         central_node_);
   }
   protocol_->set_delivery_callback(
-      [collector = collector_.get(), faults = faults_.get()](
+      [sim = sim_.get(), collector = collector_.get(), faults = faults_.get()](
           net::NodeId node, net::DataId item, sim::TimePoint at) {
-        collector->record_delivery(node, item, at);
+        const double delay_ms = collector->record_delivery(node, item, at);
+        if (sim->events().enabled()) {
+          sim->events().emit({.at = at, .kind = obs::TraceKind::kDelivery, .node = node,
+                              .item = item, .value = delay_ms});
+        }
         if (faults != nullptr) faults->record_delivery(node, at);
       });
 

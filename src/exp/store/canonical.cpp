@@ -397,6 +397,7 @@ std::string result_to_json(const RunResult& r) {
   w.u64("failures_injected", r.failures_injected);
   w.u64("mobility_epochs", r.mobility_epochs);
   w.u64("given_up", r.given_up);
+  w.u64("unknown_item_deliveries", r.unknown_item_deliveries);
   w.d("sim_time_ms", r.sim_time_ms);
   w.u64("events_executed", r.events_executed);
   w.b("event_limit_hit", r.event_limit_hit);
@@ -485,6 +486,8 @@ std::optional<RunResult> result_from_json(std::string_view json) {
     if (key == "failures_injected") return parse_raw_int(raw, r.failures_injected);
     if (key == "mobility_epochs") return parse_raw_int(raw, r.mobility_epochs);
     if (key == "given_up") return parse_raw_int(raw, r.given_up);
+    if (key == "unknown_item_deliveries")
+      return parse_raw_int(raw, r.unknown_item_deliveries);
     if (key == "sim_time_ms") return parse_raw_double(raw, r.sim_time_ms);
     if (key == "events_executed") return parse_raw_int(raw, r.events_executed);
     if (key == "event_limit_hit") return parse_raw_bool(raw, r.event_limit_hit);

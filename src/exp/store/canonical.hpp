@@ -32,7 +32,12 @@ namespace spms::exp::store {
 /// results grew energy.idle_uj, net.dropped_battery_dead, the
 /// faults.time_to_* lifetime metrics, and the battery.* residual block.
 /// `store gc` evicts the stale v1/v2 lines.
-inline constexpr int kSchemaVersion = 3;
+/// v4: results grew unknown_item_deliveries (deliveries of never-published
+/// items — previously tracked by the collector but dropped on the floor).
+/// Telemetry (TelemetryOptions, RunResult::series) deliberately left no
+/// mark here: it is not part of the config key and the series is never
+/// serialized, so a result is the same bytes with telemetry on or off.
+inline constexpr int kSchemaVersion = 4;
 
 /// Stable field-ordered JSON object describing `config` completely.
 [[nodiscard]] std::string canonical_config_json(const ExperimentConfig& config);

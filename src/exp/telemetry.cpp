@@ -1,0 +1,276 @@
+#include "exp/telemetry.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+
+namespace spms::exp {
+
+namespace {
+
+/// Shortest round-trip double rendering (JSON has no inf/nan; callers only
+/// feed finite values — gauges and counters — so the guard is a plain 0).
+void append_double(double v, std::string& out) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
+}
+
+void append_u64(std::uint64_t v, std::string& out) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
+}
+
+/// Metric names are fixed identifiers ([a-z0-9._-]); no escaping needed.
+void append_name(std::string_view name, std::string& out) {
+  out += '"';
+  out += name;
+  out += '"';
+}
+
+const std::vector<double>& delay_bounds() {
+  static const std::vector<double> bounds{1.0,   2.0,   5.0,    10.0,   20.0,   50.0,
+                                          100.0, 200.0, 500.0,  1000.0, 2000.0, 5000.0};
+  return bounds;
+}
+
+}  // namespace
+
+TelemetrySession::TelemetrySession(Scenario& scenario, const TelemetryOptions& options)
+    : scenario_(scenario), options_(options) {
+  if (!options_.any()) return;
+  active_ = true;
+
+  if (options_.trace_ring > 0) {
+    scenario_.simulation().events().enable_ring(options_.trace_ring);
+  }
+  if (!options_.trace_out.empty()) {
+    trace_file_.open(options_.trace_out, std::ios::out | std::ios::trunc);
+    if (!trace_file_) {
+      throw std::runtime_error{"TelemetrySession: cannot open trace file " + options_.trace_out};
+    }
+  }
+
+  register_catalog();
+  install_sink();
+
+  if (options_.sample_every_ms > 0.0) {
+    sampler_ = std::make_unique<obs::Sampler>(registry_,
+                                              sim::Duration::ms(options_.sample_every_ms));
+    scenario_.simulation().scheduler().set_dispatch_hook(
+        [s = sampler_.get()](sim::TimePoint now) { s->observe(now); });
+  }
+}
+
+TelemetrySession::~TelemetrySession() { detach(); }
+
+void TelemetrySession::register_catalog() {
+  // Pull gauges: each reads a layer's native counter on demand, so the
+  // layers pay nothing until a sample or the final export asks.  Lambdas
+  // capture raw layer pointers; the scenario outlives the session by
+  // contract.
+  auto& sched = scenario_.simulation().scheduler();
+  registry_.register_gauge("sched.pending", [&sched] {
+    return static_cast<double>(sched.pending());
+  });
+  registry_.register_gauge("sched.events_executed", [&sched] {
+    return static_cast<double>(sched.events_executed());
+  });
+  registry_.register_gauge("sched.events_cancelled", [&sched] {
+    return static_cast<double>(sched.events_cancelled());
+  });
+
+  auto* nw = &scenario_.network();
+  const auto net_counter = [this, nw](std::string_view name,
+                                      std::uint64_t net::NetCounters::*field) {
+    registry_.register_gauge(name, [nw, field] {
+      return static_cast<double>(nw->counters().*field);
+    });
+  };
+  net_counter("net.tx_adv", &net::NetCounters::tx_adv);
+  net_counter("net.tx_req", &net::NetCounters::tx_req);
+  net_counter("net.tx_data", &net::NetCounters::tx_data);
+  net_counter("net.tx_route", &net::NetCounters::tx_route);
+  net_counter("net.tx_bytes", &net::NetCounters::tx_bytes);
+  net_counter("net.deliveries", &net::NetCounters::deliveries);
+  net_counter("net.dropped_sender_down", &net::NetCounters::dropped_sender_down);
+  net_counter("net.dropped_out_of_range", &net::NetCounters::dropped_out_of_range);
+  net_counter("net.dropped_receiver_down", &net::NetCounters::dropped_receiver_down);
+  net_counter("net.dropped_link_fault", &net::NetCounters::dropped_link_fault);
+  net_counter("net.dropped_battery_dead", &net::NetCounters::dropped_battery_dead);
+  registry_.register_gauge("net.mac_queue_depth_max", [nw] {
+    return static_cast<double>(nw->max_mac_queue_depth());
+  });
+  registry_.register_gauge("net.grid_queries", [nw] {
+    return static_cast<double>(nw->grid_queries());
+  });
+  registry_.register_gauge("energy.protocol_uj", [nw] { return nw->energy().protocol_uj(); });
+  registry_.register_gauge("energy.total_uj", [nw] { return nw->energy().total_uj(); });
+
+  auto* col = &scenario_.collector();
+  registry_.register_gauge("delivery.published", [col] {
+    return static_cast<double>(col->published());
+  });
+  registry_.register_gauge("delivery.delivered", [col] {
+    return static_cast<double>(col->deliveries());
+  });
+  registry_.register_gauge("delivery.unknown_item", [col] {
+    return static_cast<double>(col->unknown_item_deliveries());
+  });
+
+  if (auto* routing = scenario_.routing(); routing != nullptr) {
+    registry_.register_gauge("routing.dbf_rebuilds", [routing] {
+      return static_cast<double>(routing->rebuild_count());
+    });
+    registry_.register_gauge("routing.route_changes", [routing] {
+      return static_cast<double>(routing->route_changes());
+    });
+    registry_.register_gauge("routing.dbf_messages", [routing] {
+      return static_cast<double>(routing->total_stats().messages);
+    });
+  }
+
+  if (auto* faults = scenario_.faults(); faults != nullptr) {
+    registry_.register_gauge("faults.node_downs", [faults] {
+      return static_cast<double>(faults->stats().node_downs);
+    });
+    registry_.register_gauge("faults.node_repairs", [faults] {
+      return static_cast<double>(faults->stats().node_repairs);
+    });
+    registry_.register_gauge("faults.permanent_deaths", [faults] {
+      return static_cast<double>(faults->stats().permanent_deaths);
+    });
+  }
+
+  if (nw->battery_params().finite) {
+    registry_.register_gauge("battery.depleted_nodes", [nw] {
+      return static_cast<double>(nw->depleted_count());
+    });
+    registry_.register_gauge("battery.residual_mean_uj", [nw] {
+      return nw->battery_summary().residual_mean_uj;
+    });
+  }
+
+  auto& events = scenario_.simulation().events();
+  registry_.register_gauge("trace.emitted", [&events] {
+    return static_cast<double>(events.emitted());
+  });
+  registry_.register_gauge("trace.ring_dropped", [&events] {
+    return static_cast<double>(events.dropped());
+  });
+}
+
+void TelemetrySession::install_sink() {
+  for (std::size_t k = 0; k < obs::kTraceKindCount; ++k) {
+    std::string name = "trace.";
+    name += obs::trace_kind_name(static_cast<obs::TraceKind>(k));
+    kind_counters_[k] = registry_.counter(name);
+  }
+  delay_hist_ = registry_.histogram("delivery.delay_ms", delay_bounds());
+
+  scenario_.simulation().events().set_sink([this](const obs::TraceRecord& r) {
+    registry_.add(kind_counters_[static_cast<std::size_t>(r.kind)]);
+    if (r.kind == obs::TraceKind::kDelivery && r.value >= 0.0) {
+      registry_.observe(delay_hist_, r.value);
+    }
+    if (trace_file_.is_open()) {
+      scratch_.clear();
+      obs::append_record_json(r, scratch_);
+      scratch_ += '\n';
+      trace_file_.write(scratch_.data(), static_cast<std::streamsize>(scratch_.size()));
+    }
+  });
+}
+
+void TelemetrySession::finish(RunResult& result) {
+  if (!active_ || finished_) return;
+  finished_ = true;
+  if (sampler_) result.series = sampler_->take_series();
+  if (!options_.metrics_out.empty()) write_metrics_file(result);
+  detach();
+}
+
+void TelemetrySession::detach() {
+  if (!active_ || detached_) return;
+  detached_ = true;
+  scenario_.simulation().scheduler().set_dispatch_hook(nullptr);
+  scenario_.simulation().events().set_sink(nullptr);
+  // The ring (if any) stays attached so post-run code can still read
+  // ring_snapshot() off the scenario.
+  if (trace_file_.is_open()) trace_file_.close();
+}
+
+void TelemetrySession::write_metrics_file(const RunResult& result) {
+  std::ofstream out{options_.metrics_out, std::ios::out | std::ios::trunc};
+  if (!out) {
+    throw std::runtime_error{"TelemetrySession: cannot open metrics file " +
+                             options_.metrics_out};
+  }
+
+  std::string line;
+  registry_.visit_counters([&](std::string_view name, std::uint64_t value) {
+    line = R"({"type":"counter","name":)";
+    append_name(name, line);
+    line += R"(,"value":)";
+    append_u64(value, line);
+    line += "}\n";
+    out << line;
+  });
+  registry_.visit_gauges([&](std::string_view name, double value) {
+    line = R"({"type":"gauge","name":)";
+    append_name(name, line);
+    line += R"(,"value":)";
+    append_double(value, line);
+    line += "}\n";
+    out << line;
+  });
+  for (const auto& h : registry_.histogram_snapshots()) {
+    line = R"({"type":"histogram","name":)";
+    append_name(h.name, line);
+    line += R"(,"count":)";
+    append_u64(h.count, line);
+    line += R"(,"sum":)";
+    append_double(h.sum, line);
+    line += R"(,"min":)";
+    append_double(h.min, line);
+    line += R"(,"max":)";
+    append_double(h.max, line);
+    line += R"(,"bounds":[)";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) line += ',';
+      append_double(h.bounds[i], line);
+    }
+    line += R"(],"counts":[)";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) line += ',';
+      append_u64(h.counts[i], line);
+    }
+    line += "]}\n";
+    out << line;
+  }
+
+  const auto& series = result.series;
+  for (std::size_t s = 0; s < series.samples(); ++s) {
+    line = R"({"type":"sample","t_ms":)";
+    append_double(series.t_ms[s], line);
+    line += R"(,"values":{)";
+    for (std::size_t c = 0; c < series.names.size(); ++c) {
+      if (c > 0) line += ',';
+      append_name(series.names[c], line);
+      line += ':';
+      append_double(series.rows[s][c], line);
+    }
+    line += "}}\n";
+    out << line;
+  }
+}
+
+}  // namespace spms::exp

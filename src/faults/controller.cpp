@@ -1,6 +1,7 @@
 #include "faults/controller.hpp"
 
 #include "faults/models.hpp"
+#include "obs/event_trace.hpp"
 
 namespace spms::faults {
 
@@ -11,8 +12,15 @@ FaultController::FaultController(sim::Simulation& sim, net::Network& net,
       observer_(net.size()),
       down_count_(net.size(), 0),
       permanent_(net.size(), false) {
-  net_.set_on_state_change(
-      [this](net::NodeId id, bool up) { observer_.on_state_change(id, up, sim_.now()); });
+  net_.set_on_state_change([this](net::NodeId id, bool up) {
+    observer_.on_state_change(id, up, sim_.now());
+    if (sim_.events().enabled()) {
+      sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kFaultTransition,
+                          .cause = static_cast<std::uint8_t>(up ? obs::FaultPhase::kRepair
+                                                                : obs::FaultPhase::kDown),
+                          .node = id});
+    }
+  });
 
   // Fixed construction order = fixed start order; each model forks its own
   // sub-stream (fork() is const, so construction consumes no parent draws).
@@ -77,6 +85,11 @@ void FaultController::kill(net::NodeId id) {
   if (permanent_[id.v]) return;
   permanent_[id.v] = true;
   observer_.on_permanent_death(id, sim_.now());
+  if (sim_.events().enabled()) {
+    sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kFaultTransition,
+                        .cause = static_cast<std::uint8_t>(obs::FaultPhase::kPermanentDeath),
+                        .node = id});
+  }
   net_.set_up(id, false);
 }
 

@@ -1,5 +1,7 @@
 #include "net/failure.hpp"
 
+#include "obs/event_trace.hpp"
+
 namespace spms::net {
 
 FailureInjector::FailureInjector(sim::Simulation& sim, Network& net, FailureParams params,
@@ -28,8 +30,9 @@ void FailureInjector::crash(NodeId id) {
   if (!net_.is_up(id)) return;  // already down (shouldn't happen, but harmless)
   ++failures_;
   net_.set_up(id, false);
-  if (net_.simulation().trace().enabled()) {
-    net_.simulation().trace().emit(sim_.now(), "failure", "node down");
+  if (net_.simulation().events().enabled()) {
+    net_.simulation().events().emit(
+        {.at = sim_.now(), .kind = obs::TraceKind::kNodeDown, .node = id});
   }
   const auto repair = rng_.uniform(params_.repair_min, params_.repair_max);
   sim_.after(repair, [this, id] {

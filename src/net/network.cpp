@@ -6,7 +6,21 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/event_trace.hpp"
+
 namespace spms::net {
+
+namespace {
+
+/// Typed frame-drop record; call only when sim.events().enabled().
+void emit_drop(sim::Simulation& sim, obs::DropCause cause, NodeId node, NodeId peer, DataId item,
+               double value = 0.0) {
+  sim.events().emit({.at = sim.now(), .kind = obs::TraceKind::kFrameDrop,
+                     .cause = static_cast<std::uint8_t>(cause), .node = node, .peer = peer,
+                     .item = item, .value = value});
+}
+
+}  // namespace
 
 Network::Network(sim::Simulation& sim, RadioTable radio, MacParams mac, EnergyModelParams energy,
                  std::vector<Point> positions, double zone_radius_m, BatteryParams battery)
@@ -118,10 +132,16 @@ bool Network::send(NodeId from, Packet packet, double coverage_m, EnergyUse use)
     // A drained node cannot key its radio, even before the fault layer has
     // processed the (zero-delay) depletion notification.
     ++counters_.dropped_battery_dead;
+    if (sim_.events().enabled()) {
+      emit_drop(sim_, obs::DropCause::kBatteryDead, from, packet.dst, packet.item);
+    }
     return false;
   }
   if (!n.up) {
     ++counters_.dropped_sender_down;
+    if (sim_.events().enabled()) {
+      emit_drop(sim_, obs::DropCause::kSenderDown, from, packet.dst, packet.item);
+    }
     return false;
   }
   // Pad the engineered disc by a hair: unicast coverage is usually the
@@ -132,6 +152,9 @@ bool Network::send(NodeId from, Packet packet, double coverage_m, EnergyUse use)
   const auto lvl = radio_.cheapest_level_for(coverage_m);
   if (!lvl) {
     ++counters_.dropped_out_of_range;
+    if (sim_.events().enabled()) {
+      emit_drop(sim_, obs::DropCause::kOutOfRange, from, packet.dst, packet.item, coverage_m);
+    }
     return false;
   }
   packet.src = from;
@@ -168,11 +191,19 @@ void Network::send_unqueued(Node& n, OutgoingFrame frame) {
     Node& sender = nodes_[id.v];
     if (sender.battery.depleted()) {
       ++counters_.dropped_battery_dead;  // drained during the backoff
+      if (sim_.events().enabled()) {
+        emit_drop(sim_, obs::DropCause::kBatteryDead, id, ctx->frame.packet.dst,
+                  ctx->frame.packet.item);
+      }
       release_frame_ctx(ctx);
       return;
     }
     if (!sender.up) {
       ++counters_.dropped_sender_down;  // crashed during the backoff
+      if (sim_.events().enabled()) {
+        emit_drop(sim_, obs::DropCause::kSenderDown, id, ctx->frame.packet.dst,
+                  ctx->frame.packet.item);
+      }
       release_frame_ctx(ctx);
       return;
     }
@@ -222,6 +253,11 @@ void Network::mac_begin_tx(Node& n) {
   if (n.battery.depleted()) {
     // Drained while waiting for the channel: the queue dies with the radio.
     counters_.dropped_battery_dead += n.mac_queue.size();
+    if (sim_.events().enabled()) {
+      // One aggregate record; value carries how many queued frames died.
+      emit_drop(sim_, obs::DropCause::kBatteryDead, n.id, NodeId{}, DataId{},
+                static_cast<double>(n.mac_queue.size()));
+    }
     n.mac_queue.clear();
     n.mac_busy = false;
     n.mac_event = sim::EventHandle{};
@@ -300,6 +336,9 @@ void Network::deliver_frame(const Node& sender, const OutgoingFrame& frame) {
       // no link-fault draw (keeping the fault stream's draw sequence a
       // function of the *live* hearer set).
       ++counters_.dropped_battery_dead;
+      if (sim_.events().enabled()) {
+        emit_drop(sim_, obs::DropCause::kBatteryDead, h, sender.id, p.item);
+      }
       continue;
     }
     if (link_fault_ && link_fault_(sender.id, h)) {
@@ -307,6 +346,9 @@ void Network::deliver_frame(const Node& sender, const OutgoingFrame& frame) {
       // no processing (ascending-id hearer order keeps the draws
       // deterministic).
       ++counters_.dropped_link_fault;
+      if (sim_.events().enabled()) {
+        emit_drop(sim_, obs::DropCause::kLinkFault, h, sender.id, p.item);
+      }
       continue;
     }
     const bool addressed = p.is_broadcast() || p.dst == h;
@@ -329,10 +371,16 @@ void Network::deliver_frame(const Node& sender, const OutgoingFrame& frame) {
       Node& r = nodes_[h.v];
       if (r.battery.depleted()) {
         ++counters_.dropped_battery_dead;  // drained between rx and t_proc
+        if (sim_.events().enabled()) {
+          emit_drop(sim_, obs::DropCause::kBatteryDead, h, ctx->pkt.src, ctx->pkt.item);
+        }
         continue;
       }
       if (!r.up) {
         ++counters_.dropped_receiver_down;
+        if (sim_.events().enabled()) {
+          emit_drop(sim_, obs::DropCause::kReceiverDown, h, ctx->pkt.src, ctx->pkt.item);
+        }
         continue;
       }
       if (r.agent != nullptr) {
@@ -392,18 +440,51 @@ void Network::charge_node_tx(Node& n, double uj, EnergyUse use) {
   const bool was = n.battery.depleted();
   n.battery.add_tx(uj, use);
   if (!was && n.battery.depleted()) dispatch_depletion(n);
+  if (battery_.finite && sim_.events().enabled()) note_battery_level(n);
 }
 
 void Network::charge_node_rx(Node& n, double uj, EnergyUse use) {
   const bool was = n.battery.depleted();
   n.battery.add_rx(uj, use);
   if (!was && n.battery.depleted()) dispatch_depletion(n);
+  if (battery_.finite && sim_.events().enabled()) note_battery_level(n);
 }
 
 void Network::charge_node_idle(Node& n, double uj) {
   const bool was = n.battery.depleted();
   n.battery.add_idle(uj);
   if (!was && n.battery.depleted()) dispatch_depletion(n);
+  if (battery_.finite && sim_.events().enabled()) note_battery_level(n);
+}
+
+void Network::note_battery_level(Node& n) {
+  const double init = n.battery.initial_charge_uj();
+  const double frac = init > 0.0 ? n.battery.remaining_uj() / init : 0.0;
+  std::uint8_t bucket;
+  if (n.battery.depleted()) {
+    bucket = static_cast<std::uint8_t>(obs::BatteryBucket::kDepleted);
+  } else if (frac < 0.10) {
+    bucket = static_cast<std::uint8_t>(obs::BatteryBucket::kBelow10);
+  } else if (frac < 0.20) {
+    bucket = static_cast<std::uint8_t>(obs::BatteryBucket::kBelow20);
+  } else if (frac < 0.50) {
+    bucket = static_cast<std::uint8_t>(obs::BatteryBucket::kBelow50);
+  } else {
+    bucket = static_cast<std::uint8_t>(obs::BatteryBucket::kAbove50);
+  }
+  // One record per bucket entered, even when a single charge crosses
+  // several (the per-crossing semantics consumers rely on).
+  while (n.battery_bucket < bucket) {
+    ++n.battery_bucket;
+    sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kBatteryThreshold,
+                        .cause = n.battery_bucket, .node = n.id, .value = frac});
+  }
+}
+
+std::size_t Network::max_mac_queue_depth() const {
+  std::size_t depth = 0;
+  for (const Node& n : nodes_) depth = std::max(depth, n.mac_queue.size());
+  return depth;
 }
 
 void Network::dispatch_depletion(Node& n) {

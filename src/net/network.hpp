@@ -192,6 +192,11 @@ class Network {
   [[nodiscard]] EnergyBreakdown energy() const;
   [[nodiscard]] const NetCounters& counters() const { return counters_; }
   [[nodiscard]] double node_energy_uj(NodeId id) const { return node(id).battery.spent_uj(); }
+  /// Cumulative spatial-grid disc queries (observability gauge; stays at 0
+  /// for deployments below the grid cutover).
+  [[nodiscard]] std::uint64_t grid_queries() const { return grid_.query_count(); }
+  /// Deepest MAC queue across nodes right now (observability gauge).
+  [[nodiscard]] std::size_t max_mac_queue_depth() const;
 
  private:
   /// Airtime of `bytes` at the configured rate.
@@ -230,6 +235,12 @@ class Network {
   void charge_node_rx(Node& n, double uj, EnergyUse use);
   void charge_node_idle(Node& n, double uj);
   void dispatch_depletion(Node& n);
+
+  /// Emits typed battery-threshold records for every residual bucket the
+  /// node crossed since the last check.  Called only while the typed trace
+  /// is enabled and the battery model is finite; pure observation (updates
+  /// only the node's bookkeeping byte).
+  void note_battery_level(Node& n);
 
   /// One idle-drain tick: charge every non-depleted node, reschedule.
   void idle_drain_tick();

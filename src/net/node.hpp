@@ -38,6 +38,10 @@ struct Node {
   bool up = true;
 
   Battery battery;
+  /// Last residual-charge bucket reported to the typed trace (an
+  /// obs::BatteryBucket value; only advances).  Observability bookkeeping —
+  /// never read by the simulation itself.
+  std::uint8_t battery_bucket = 0;
   Agent* agent = nullptr;  ///< non-owning; protocols outlive the run
 
   // MAC state: one transmission at a time, FIFO queue behind it (a grow-only

@@ -1,0 +1,224 @@
+#include "obs/event_trace.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace spms::obs {
+
+namespace {
+
+void append_node(std::string& s, net::NodeId id) {
+  s += 'n';
+  if (id.v == net::NodeId::kInvalid) {
+    s += '?';
+    return;
+  }
+  char buf[16];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, id.v);
+  s.append(buf, p);
+}
+
+void append_item(std::string& s, net::DataId item) {
+  append_node(s, item.origin);
+  s += '#';
+  char buf[16];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, item.seq);
+  s.append(buf, p);
+}
+
+/// Shortest round-trip double rendering (same contract as the store's
+/// canonical JSON; duplicated here because obs must not depend on exp).
+void append_double(std::string& s, double v) {
+  char buf[32];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  s.append(buf, p);
+}
+
+void append_u64(std::string& s, std::uint64_t v) {
+  char buf[24];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  s.append(buf, p);
+}
+
+/// message = "<verb> <node> <item>" + optional suffix pieces.
+std::string verb_line(const char* verb, const TraceRecord& r) {
+  std::string m{verb};
+  m += ' ';
+  append_node(m, r.node);
+  m += ' ';
+  append_item(m, r.item);
+  return m;
+}
+
+}  // namespace
+
+std::optional<LegacyLine> format_legacy(const TraceRecord& r) {
+  switch (r.kind) {
+    case TraceKind::kSpmsAdv:
+      return LegacyLine{"spms", verb_line("adv", r)};
+    case TraceKind::kSpmsReqDirect: {
+      auto m = verb_line("req-direct", r);
+      m += " to ";
+      append_node(m, r.peer);
+      return LegacyLine{"spms", std::move(m)};
+    }
+    case TraceKind::kSpmsReqMultihop: {
+      auto m = verb_line("req-multihop", r);
+      m += " to ";
+      append_node(m, r.peer);
+      m += " via ";
+      append_node(m, r.via);
+      return LegacyLine{"spms", std::move(m)};
+    }
+    case TraceKind::kSpmsReqCrosszone: {
+      auto m = verb_line("req-crosszone", r);
+      m += " to ";
+      append_node(m, r.peer);
+      m += " via ";
+      append_node(m, r.via);
+      return LegacyLine{"spms", std::move(m)};
+    }
+    case TraceKind::kSpmsCourierAdv:
+      return LegacyLine{"spms", verb_line("courier-adv", r)};
+    case TraceKind::kSpmsRelayReq: {
+      auto m = verb_line("relay-req", r);
+      m += " for ";
+      append_node(m, r.peer);
+      m += " to ";
+      append_node(m, r.via);
+      return LegacyLine{"spms", std::move(m)};
+    }
+    case TraceKind::kSpmsRelayData: {
+      auto m = verb_line("relay-data", r);
+      m += " for ";
+      append_node(m, r.peer);
+      return LegacyLine{"spms", std::move(m)};
+    }
+    case TraceKind::kSpmsData: {
+      auto m = verb_line("data", r);
+      m += " from ";
+      append_node(m, r.peer);
+      return LegacyLine{"spms", std::move(m)};
+    }
+    case TraceKind::kSpinAdv:
+      return LegacyLine{"spin", verb_line("adv", r)};
+    case TraceKind::kSpinReq: {
+      auto m = verb_line("req", r);
+      m += " to ";
+      append_node(m, r.peer);
+      return LegacyLine{"spin", std::move(m)};
+    }
+    case TraceKind::kSpinData: {
+      auto m = verb_line("data", r);
+      m += " from ";
+      append_node(m, r.peer);
+      return LegacyLine{"spin", std::move(m)};
+    }
+    case TraceKind::kNodeDown:
+      return LegacyLine{"failure", "node down"};
+    default:
+      return std::nullopt;
+  }
+}
+
+const char* trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kPublish: return "publish";
+    case TraceKind::kDelivery: return "delivery";
+    case TraceKind::kFrameDrop: return "frame-drop";
+    case TraceKind::kFaultTransition: return "fault-transition";
+    case TraceKind::kBatteryThreshold: return "battery-threshold";
+    case TraceKind::kRouteChange: return "route-change";
+    case TraceKind::kSpmsAdv: return "spms-adv";
+    case TraceKind::kSpmsReqDirect: return "spms-req-direct";
+    case TraceKind::kSpmsReqMultihop: return "spms-req-multihop";
+    case TraceKind::kSpmsReqCrosszone: return "spms-req-crosszone";
+    case TraceKind::kSpmsCourierAdv: return "spms-courier-adv";
+    case TraceKind::kSpmsRelayReq: return "spms-relay-req";
+    case TraceKind::kSpmsRelayData: return "spms-relay-data";
+    case TraceKind::kSpmsData: return "spms-data";
+    case TraceKind::kSpinAdv: return "spin-adv";
+    case TraceKind::kSpinReq: return "spin-req";
+    case TraceKind::kSpinData: return "spin-data";
+    case TraceKind::kNodeDown: return "node-down";
+  }
+  return "unknown";
+}
+
+const char* trace_cause_name(TraceKind k, std::uint8_t cause) {
+  switch (k) {
+    case TraceKind::kFrameDrop:
+      switch (static_cast<DropCause>(cause)) {
+        case DropCause::kSenderDown: return "sender-down";
+        case DropCause::kOutOfRange: return "out-of-range";
+        case DropCause::kReceiverDown: return "receiver-down";
+        case DropCause::kLinkFault: return "link-fault";
+        case DropCause::kBatteryDead: return "battery-dead";
+      }
+      return "unknown";
+    case TraceKind::kFaultTransition:
+      switch (static_cast<FaultPhase>(cause)) {
+        case FaultPhase::kDown: return "down";
+        case FaultPhase::kRepair: return "repair";
+        case FaultPhase::kPermanentDeath: return "permanent-death";
+      }
+      return "unknown";
+    case TraceKind::kBatteryThreshold:
+      switch (static_cast<BatteryBucket>(cause)) {
+        case BatteryBucket::kAbove50: return "above-50pct";
+        case BatteryBucket::kBelow50: return "below-50pct";
+        case BatteryBucket::kBelow20: return "below-20pct";
+        case BatteryBucket::kBelow10: return "below-10pct";
+        case BatteryBucket::kDepleted: return "depleted";
+      }
+      return "unknown";
+    default:
+      return nullptr;
+  }
+}
+
+void append_record_json(const TraceRecord& r, std::string& out) {
+  out += "{\"t_ms\":";
+  append_double(out, r.at.to_ms());
+  out += ",\"kind\":\"";
+  out += trace_kind_name(r.kind);
+  out += '"';
+  if (const char* cause = trace_cause_name(r.kind, r.cause)) {
+    out += ",\"cause\":\"";
+    out += cause;
+    out += '"';
+  }
+  if (r.node.valid()) {
+    out += ",\"node\":";
+    append_u64(out, r.node.v);
+  }
+  if (r.peer.valid()) {
+    out += ",\"peer\":";
+    append_u64(out, r.peer.v);
+  }
+  if (r.via.valid()) {
+    out += ",\"via\":";
+    append_u64(out, r.via.v);
+  }
+  if (r.item.origin.valid()) {
+    out += ",\"item\":\"";
+    append_node(out, r.item.origin);
+    out += '#';
+    append_u64(out, r.item.seq);
+    out += '"';
+  }
+  out += ",\"value\":";
+  append_double(out, r.value);
+  out += '}';
+}
+
+std::vector<TraceRecord> EventTrace::ring_snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+}  // namespace spms::obs

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/series.hpp"
+#include "sim/time.hpp"
+
+/// \file sampler.hpp
+/// Time-series sampling at event-dispatch boundaries.
+///
+/// The Sampler never schedules events of its own: it observes the clock
+/// through the Scheduler's dispatch hook (called after each executed
+/// event), and whenever the run has advanced past the next due instant it
+/// snapshots every registered gauge.  Because it neither schedules nor
+/// draws randomness, enabling it cannot perturb the event stream — the
+/// sample instants are simply the firing times of whatever events the run
+/// already had (so intervals are lower bounds: a quiet queue samples late).
+
+namespace spms::obs {
+
+class Sampler {
+ public:
+  /// Samples every `interval` (first sample at the first dispatch).
+  Sampler(const MetricsRegistry& registry, sim::Duration interval)
+      : registry_(registry), interval_(interval) {}
+
+  /// Dispatch-hook body: snapshots gauges when `now` has reached the next
+  /// due instant, then advances the due instant past `now`.
+  void observe(sim::TimePoint now) {
+    if (now < next_due_) return;
+    if (series_.names.empty()) series_.names = registry_.gauge_names();
+    series_.t_ms.push_back(now.to_ms());
+    series_.rows.push_back(registry_.sample_gauges());
+    // Advance on a fixed grid so a burst of events yields one sample, and
+    // long event gaps don't produce catch-up duplicates.
+    do {
+      next_due_ = next_due_ + interval_;
+    } while (next_due_ <= now);
+  }
+
+  [[nodiscard]] const SeriesSet& series() const { return series_; }
+  [[nodiscard]] SeriesSet take_series() { return std::exchange(series_, SeriesSet{}); }
+  [[nodiscard]] sim::Duration interval() const { return interval_; }
+
+ private:
+  const MetricsRegistry& registry_;
+  sim::Duration interval_;
+  sim::TimePoint next_due_;  ///< zero(): sample on the very first dispatch
+  SeriesSet series_;
+};
+
+}  // namespace spms::obs

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file series.hpp
+/// Time-series container filled by the Sampler: one row of gauge values per
+/// sample instant.  Carried on RunResult when sampling was requested (empty
+/// otherwise) but never serialized into the result store — series are
+/// per-run diagnostics, not part of the canonical result record.
+
+namespace spms::obs {
+
+struct SeriesSet {
+  std::vector<std::string> names;          ///< gauge names, column order
+  std::vector<double> t_ms;                ///< sample instants
+  std::vector<std::vector<double>> rows;   ///< rows[i] parallel to names
+
+  [[nodiscard]] bool empty() const { return t_ms.empty(); }
+  [[nodiscard]] std::size_t samples() const { return t_ms.size(); }
+
+  /// Column `c` across all samples (copy; export convenience).
+  [[nodiscard]] std::vector<double> column(std::size_t c) const {
+    std::vector<double> out;
+    out.reserve(rows.size());
+    for (const auto& row : rows) out.push_back(row[c]);
+    return out;
+  }
+};
+
+}  // namespace spms::obs

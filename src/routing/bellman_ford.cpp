@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <utility>
+
+#include "obs/event_trace.hpp"
 
 namespace spms::routing {
 
@@ -53,6 +56,9 @@ RoutingService::RoutingService(net::Network& net, DbfParams params)
 DbfStats RoutingService::rebuild() {
   zones_ = std::make_unique<ZoneMap>(net_);
   const std::size_t n = net_.size();
+  // Keep the previous tables aside so the churn diff below can compare; on
+  // the initial build (constructor) this is empty and the diff is skipped.
+  std::vector<RoutingTable> old_tables = std::move(tables_);
   tables_.assign(n, RoutingTable{});
 
   // Cache link weights w(u,v) for v in zone(u), parallel to the zone list;
@@ -201,6 +207,37 @@ DbfStats RoutingService::rebuild() {
   total_stats_.message_bytes += stats.message_bytes;
   total_stats_.energy_uj += stats.energy_uj;
   total_stats_.converged = stats.converged;
+
+  // Route churn: best-first-hop changes vs. the previous tables.  Emits one
+  // typed record per node with churn when the trace is enabled; the counters
+  // are maintained regardless (rebuilds are rare — mobility epochs — so the
+  // diff never shows up on the event hot path).
+  ++rebuilds_;
+  last_route_changes_ = 0;
+  if (!old_tables.empty()) {
+    auto& events = net_.simulation().events();
+    for (std::size_t u = 0; u < n; ++u) {
+      std::uint64_t changed = 0;
+      const auto& old_entries = old_tables[u].entries();
+      for (const auto& [dest, entry] : tables_[u].entries()) {
+        const auto it = old_entries.find(dest);
+        if (it == old_entries.end() ? entry.best.next_hop.valid()
+                                    : it->second.best.next_hop != entry.best.next_hop) {
+          ++changed;
+        }
+      }
+      for (const auto& [dest, entry] : old_entries) {
+        if (tables_[u].find(dest) == nullptr && entry.best.next_hop.valid()) ++changed;
+      }
+      last_route_changes_ += changed;
+      if (changed > 0 && events.enabled()) {
+        events.emit({.at = net_.simulation().now(), .kind = obs::TraceKind::kRouteChange,
+                     .node = net::NodeId{static_cast<std::uint32_t>(u)},
+                     .value = static_cast<double>(changed)});
+      }
+    }
+    route_changes_ += last_route_changes_;
+  }
   return stats;
 }
 

@@ -60,6 +60,18 @@ class RoutingService {
   /// Cumulative statistics across all rebuilds.
   [[nodiscard]] const DbfStats& total_stats() const { return total_stats_; }
 
+  /// Number of rebuild() calls (the initial build included).
+  [[nodiscard]] std::uint64_t rebuild_count() const { return rebuilds_; }
+
+  /// Route churn: cumulative best-next-hop changes across rebuilds (the
+  /// initial build, which changes everything by definition, is excluded).
+  /// A changed entry is a destination whose best first hop differs from the
+  /// previous table, was lost, or appeared.
+  [[nodiscard]] std::uint64_t route_changes() const { return route_changes_; }
+
+  /// Churn of the most recent rebuild only.
+  [[nodiscard]] std::uint64_t last_route_changes() const { return last_route_changes_; }
+
   [[nodiscard]] const ZoneMap& zones() const { return *zones_; }
   [[nodiscard]] const RoutingTable& table(net::NodeId id) const { return tables_.at(id.v); }
 
@@ -86,6 +98,9 @@ class RoutingService {
   std::vector<RoutingTable> tables_;
   DbfStats last_stats_;
   DbfStats total_stats_;
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t route_changes_ = 0;
+  std::uint64_t last_route_changes_ = 0;
 };
 
 /// Reference shortest path for tests: Dijkstra over the same constrained

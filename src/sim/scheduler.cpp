@@ -105,6 +105,7 @@ void Scheduler::cancel(EventHandle h) {
   slot.fn.reset();
   release_slot(s);
   remove_heap_at(pos);
+  ++cancelled_;
 }
 
 bool Scheduler::run_one() {
@@ -119,6 +120,8 @@ bool Scheduler::run_one() {
   remove_heap_at(0);
   now_ = top.at;
   fn();
+  ++executed_;
+  if (dispatch_hook_) dispatch_hook_(now_);
   return true;
 }
 

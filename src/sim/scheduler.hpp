@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/callback.hpp"
@@ -89,6 +90,19 @@ class Scheduler {
   /// Number of pending events — O(1) off the heap size.
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
 
+  /// Cumulative events executed / cancelled over the scheduler's lifetime
+  /// (observability counters; pending() is the matching depth gauge).
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] std::uint64_t events_cancelled() const { return cancelled_; }
+
+  /// Observation hook called after each executed event, at the event's
+  /// firing time.  Strictly read-only with respect to the event stream: the
+  /// hook must not schedule, cancel, or draw randomness (the telemetry
+  /// Sampler snapshots gauges here).  Pass nullptr to clear.  Disabled cost
+  /// is a single branch per event.
+  using DispatchHook = std::function<void(TimePoint)>;
+  void set_dispatch_hook(DispatchHook hook) { dispatch_hook_ = std::move(hook); }
+
   /// True if the guard in run() ever tripped (sticky across run() calls: a
   /// poisoned run stays poisoned even if a later drain succeeds).
   [[nodiscard]] bool event_limit_hit() const { return limit_hit_; }
@@ -135,6 +149,9 @@ class Scheduler {
   std::uint32_t free_head_ = kNoSlot;
   TimePoint now_;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  DispatchHook dispatch_hook_;
   bool limit_hit_ = false;
 };
 

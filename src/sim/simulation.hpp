@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "obs/event_trace.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
@@ -31,6 +32,9 @@ class Simulation {
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] Trace& trace() { return trace_; }
   [[nodiscard]] const Trace& trace() const { return trace_; }
+  /// The typed event trace; emit sites guard on events().enabled().
+  [[nodiscard]] obs::EventTrace& events() { return events_; }
+  [[nodiscard]] const obs::EventTrace& events() const { return events_; }
 
   /// Current simulated time.
   [[nodiscard]] TimePoint now() const { return sched_.now(); }
@@ -53,7 +57,8 @@ class Simulation {
  private:
   Scheduler sched_;
   Rng rng_;
-  Trace trace_;
+  obs::EventTrace events_;
+  Trace trace_{events_};  ///< legacy string adapter over events_
 };
 
 }  // namespace spms::sim

@@ -3,43 +3,67 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <utility>
 
+#include "obs/event_trace.hpp"
 #include "sim/time.hpp"
 
 /// \file trace.hpp
-/// Structured tracing for simulations.
+/// Legacy string-trace adapter over the typed obs::EventTrace.
 ///
-/// Protocol agents emit (time, category, message) records; tests install a
-/// collecting sink to assert on protocol behaviour, and the examples install
-/// a printing sink.  When no sink is installed, emit() is a cheap no-op
-/// (one branch), so tracing can stay in release builds.
+/// The simulator's emit sites produce typed obs::TraceRecord values; this
+/// adapter preserves the historical (time, category, message) sink API for
+/// tests and example binaries.  Installing a string sink here registers a
+/// formatting sink on the typed trace (obs::format_legacy reproduces the
+/// string-era renderings exactly), so consumers of either API observe the
+/// same emissions.  emit() still forwards raw strings for callers that
+/// never migrated to typed records.  When no sink is installed anywhere,
+/// emission remains a single branch.
 
 namespace spms::sim {
 
-/// One trace record.
+/// One legacy trace record.
 struct TraceEvent {
   TimePoint at;
   std::string category;  ///< e.g. "spms", "mac", "failure"
   std::string message;
 };
 
-/// Trace hub: at most one sink, set by the owner of the simulation.
+/// String-sink adapter: at most one sink, set by the owner of the
+/// simulation.  Holds a reference to the typed trace it shadows.
 class Trace {
  public:
   using Sink = std::function<void(const TraceEvent&)>;
 
-  /// Installs (or clears, with nullptr) the sink.
-  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  explicit Trace(obs::EventTrace& events) : events_(events) {}
 
-  /// True when a sink is installed; use to skip expensive formatting.
+  /// Installs (or clears, with nullptr) the sink.  While a sink is
+  /// installed the typed trace is enabled and its records with a legacy
+  /// rendering are delivered here as strings.
+  void set_sink(Sink sink) {
+    sink_ = std::move(sink);
+    if (sink_) {
+      events_.set_legacy_sink([this](const obs::TraceRecord& r) {
+        if (auto line = obs::format_legacy(r)) {
+          sink_(TraceEvent{r.at, std::move(line->category), std::move(line->message)});
+        }
+      });
+    } else {
+      events_.set_legacy_sink(nullptr);
+    }
+  }
+
+  /// True when a string sink is installed; use to skip expensive formatting.
   [[nodiscard]] bool enabled() const { return static_cast<bool>(sink_); }
 
-  /// Emits a record if a sink is installed.
+  /// Emits a raw string record if a sink is installed (legacy direct path;
+  /// typed emit sites go through obs::EventTrace instead).
   void emit(TimePoint at, std::string_view category, std::string_view message) const {
     if (sink_) sink_(TraceEvent{at, std::string{category}, std::string{message}});
   }
 
  private:
+  obs::EventTrace& events_;
   Sink sink_;
 };
 
