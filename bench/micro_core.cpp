@@ -271,6 +271,19 @@ void BM_EndToEndSmallRunTelemetry(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSmallRunTelemetry)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+void BM_EndToEndSmallRunSpans(benchmark::State& state) {
+  // Telemetry plus causal span assembly: every trace record additionally
+  // folds into the per-(item, node) span table.  Compare against
+  // BM_EndToEndSmallRunTelemetry for the assembly's incremental cost.
+  exp::TelemetryOptions telemetry;
+  telemetry.metrics = true;
+  telemetry.sample_every_ms = 5.0;
+  telemetry.trace_ring = 4096;
+  telemetry.spans = true;
+  run_end_to_end(state, telemetry);
+}
+BENCHMARK(BM_EndToEndSmallRunSpans)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/trace_report.hpp"
 #include "exp/batch.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario_registry.hpp"
@@ -57,7 +58,7 @@ using namespace spms;
       << "usage: " << argv0 << " --scenario NAME [--seeds K] [--jobs N]\n"
          "       [--store DIR] [--no-cache] [--shard I/N] [--max-events N]\n"
          "       [--format table|csv|json|gnuplot] [--plot-x COL] [--plot-y COL]\n"
-         "       [--per-seed] [--quiet]\n"
+         "       [--per-seed] [--quiet] [--rollup-out FILE]\n"
          "   or: " << argv0 << " --list\n"
          "   or: " << argv0 << " merge DEST_STORE SRC_STORE...\n"
          "   or: " << argv0 << " store ls DIR\n"
@@ -70,7 +71,9 @@ using namespace spms;
          "       [--cluster] [--sink] [--random-deployment]\n"
          "       [--cross-zone TTL] [--relay-caching] [--scones N] [--rx-power MW]\n"
          "       [--paper-mac] [--format table|csv|json] [--csv]\n"
-         "       [--trace-out FILE] [--metrics-out FILE] [--sample-every-ms T]\n";
+         "       [--trace-out FILE] [--metrics-out FILE] [--sample-every-ms T]\n"
+         "       [--metrics-format json|prom] [--spans-out FILE] [--perfetto-out FILE]\n"
+         "       [--flight-out FILE] [--trace-report]\n";
   std::exit(2);
 }
 
@@ -289,6 +292,7 @@ struct ScenarioOptions {
   std::size_t max_events = 0;
   std::string plot_x;  ///< --plot-x: gnuplot abscissa column (default: auto)
   std::string plot_y;  ///< --plot-y: gnuplot ordinate column
+  std::string rollup_out;  ///< --rollup-out: per-cell metric rollup sidecar
 };
 
 /// Table headers of scenario mode, shared by the table builders below and
@@ -346,6 +350,7 @@ int run_scenario_mode(const std::string& name, const ScenarioOptions& opt) {
   options.use_cache = opt.use_cache;
   options.shard_index = opt.shard_index;
   options.shard_count = opt.shard_count;
+  options.rollup_out = opt.rollup_out;
   if (!opt.quiet) {
     options.on_result = [](const exp::SweepJob& job, const exp::RunResult&, std::size_t done,
                            std::size_t total) {
@@ -463,6 +468,7 @@ int main(int argc, char** argv) {
   // nothing without it, so either mix is an error rather than silence.
   std::string single_flag;
   std::string scenario_flag;
+  bool trace_report = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -470,7 +476,8 @@ int main(int argc, char** argv) {
         arg != "--seeds" && arg != "--jobs" && arg != "--format" && arg != "--per-seed" &&
         arg != "--quiet" && arg != "--csv" && arg != "--help" && arg != "--store" &&
         arg != "--no-cache" && arg != "--shard" && arg != "--max-events" &&
-        arg != "--plot-x" && arg != "--plot-y" && single_flag.empty()) {
+        arg != "--plot-x" && arg != "--plot-y" && arg != "--rollup-out" &&
+        single_flag.empty()) {
       single_flag = arg;
     }
     const auto next = [&]() -> const char* {
@@ -588,6 +595,31 @@ int main(int argc, char** argv) {
     } else if (arg == "--sample-every-ms") {
       telemetry.sample_every_ms = parse_double(next(), argv[0]);
       if (telemetry.sample_every_ms <= 0.0) usage(argv[0]);
+    } else if (arg == "--metrics-format") {
+      const std::string f = next();
+      if (f == "json") {
+        telemetry.metrics_format = exp::TelemetryOptions::MetricsFormat::kJson;
+      } else if (f == "prom") {
+        telemetry.metrics_format = exp::TelemetryOptions::MetricsFormat::kProm;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--spans-out") {
+      telemetry.spans_out = next();
+      if (telemetry.spans_out.empty()) usage(argv[0]);
+    } else if (arg == "--perfetto-out") {
+      telemetry.perfetto_out = next();
+      if (telemetry.perfetto_out.empty()) usage(argv[0]);
+    } else if (arg == "--flight-out") {
+      telemetry.flight_out = next();
+      if (telemetry.flight_out.empty()) usage(argv[0]);
+    } else if (arg == "--trace-report") {
+      trace_report = true;
+      telemetry.spans = true;
+    } else if (arg == "--rollup-out") {
+      scenario_flag = arg;
+      sopt.rollup_out = next();
+      if (sopt.rollup_out.empty()) usage(argv[0]);
     } else if (arg == "--csv") {
       sopt.format = Format::kCsv;
     } else if (arg == "--help" || arg == "-h") {
@@ -658,5 +690,32 @@ int main(int argc, char** argv) {
   }
 
   print_formatted(t, sopt.format);
+
+  if (trace_report && r.spans != nullptr) {
+    const auto report = analysis::build_trace_report(*r.spans, r.node_energy_uj);
+    const auto& js = report.journeys;
+    std::cout << "\njourneys: " << js.delivered << " delivered, " << js.complete
+              << " complete chains (" << exp::fmt(js.completeness() * 100.0, 2) << "%), "
+              << js.orphaned << " orphaned, max depth " << js.max_depth << "\n\n";
+
+    exp::Table hops({"depth", "count", "mean_hop_ms", "max_hop_ms", "mean_total_ms"});
+    for (const auto& h : report.per_depth) {
+      hops.add_row({std::to_string(h.depth), std::to_string(h.count),
+                    exp::fmt(h.mean_hop_ms, 3), exp::fmt(h.max_hop_ms, 3),
+                    exp::fmt(h.mean_total_ms, 3)});
+    }
+    hops.print(std::cout);
+    std::cout << "\n";
+
+    exp::Table relays({"node", "relayed_req", "relayed_data", "served", "energy_uj"});
+    constexpr std::size_t kTopRelays = 10;  // the busiest carriers; the tail is noise
+    for (std::size_t i = 0; i < report.relays.size() && i < kTopRelays; ++i) {
+      const auto& row = report.relays[i];
+      relays.add_row({"n" + std::to_string(row.node.v), std::to_string(row.relayed_req),
+                      std::to_string(row.relayed_data), std::to_string(row.served),
+                      exp::fmt(row.energy_uj, 1)});
+    }
+    relays.print(std::cout);
+  }
   return r.event_limit_hit ? 1 : 0;
 }

@@ -4,8 +4,10 @@
 Usage:
     validate_telemetry.py [--schema scripts/telemetry_schema.json]
                           [--trace trace.jsonl] [--metrics metrics.jsonl]
+                          [--spans spans.jsonl] [--rollup rollup.jsonl]
+                          [--flight flight.jsonl]
 
-Checks the two file formats TelemetrySession writes:
+Checks the telemetry file formats the toolchain writes:
 
   * --trace-out: one TraceRecord per line.  Every line must parse, carry the
     required fields with the right types, use a known kind, and — for kinds
@@ -16,6 +18,17 @@ Checks the two file formats TelemetrySession writes:
     summing to count) and sample invariants (nondecreasing t_ms, value keys
     drawn from the gauges declared earlier in the same file) are structural,
     so they are enforced here rather than listed in the schema file.
+  * --spans-out: span lines plus exactly one trailing span-summary whose
+    census (delivered == complete + orphaned, span count) must agree with
+    the span lines themselves.
+  * --rollup-out (BatchRunner sidecar): one rollup line per grid point;
+    counter values must be nonnegative integers, histogram invariants as
+    above, executed <= seeds.
+  * --flight-out: flight-dump headers with their flight-record /
+    flight-span payload lines; embedded records are validated against the
+    trace schema.
+
+Any unknown line type or unknown trace kind fails the run (exit 1).
 
 Deliberately stdlib-only: the CI image carries no jsonschema package, and the
 formats are flat enough that a few dozen lines beat a dependency.
@@ -166,14 +179,152 @@ def validate_metrics(path: str, schema: dict) -> Checker:
     return checker
 
 
+def _check_trace_record(checker: Checker, lineno: int, obj: dict, schema: dict,
+                        context: str) -> None:
+    """Validate one embedded TraceRecord object against the trace schema."""
+    spec = schema["trace"]
+    for field, ftype in spec["required_fields"].items():
+        if field not in obj:
+            checker.error(lineno, f"{context}: missing required field '{field}'")
+        elif not _TYPE_CHECKS[ftype](obj[field]):
+            checker.error(lineno, f"{context}: field '{field}' is not a {ftype}")
+    kind = obj.get("kind")
+    if isinstance(kind, str) and kind not in set(spec["kinds"]):
+        checker.error(lineno, f"{context}: unknown kind '{kind}'")
+
+
+def validate_spans(path: str, schema: dict) -> Checker:
+    spec = schema["spans"]
+    checker = Checker(path)
+    item_re = re.compile(spec["item_pattern"])
+    counts = dict.fromkeys(spec["line_types"], 0)
+    delivered = complete = orphaned = 0
+    summary: dict | None = None
+    for lineno, obj in iter_jsonl(path, checker):
+        ltype = obj.get("type")
+        if ltype not in counts:
+            checker.error(lineno, f"unknown line type {ltype!r}")
+            continue
+        if summary is not None:
+            checker.error(lineno, "line after the span-summary (must be last)")
+        counts[ltype] += 1
+        lspec = spec[ltype]
+        if not checker.check_fields(lineno, obj, lspec["required_fields"],
+                                    lspec.get("optional_fields")):
+            continue
+        if ltype == "span":
+            if not item_re.match(obj["item"]):
+                checker.error(lineno, f"malformed item '{obj['item']}'")
+            if obj.get("delivered"):
+                delivered += 1
+                if "depth" in obj:
+                    complete += 1
+                else:
+                    orphaned += 1
+            if "depth" in obj and obj["depth"] < 0:
+                checker.error(lineno, f"negative depth {obj['depth']}")
+            if obj.get("root") and obj.get("parent") is not None:
+                checker.error(lineno, "root span carries a parent")
+        else:
+            summary = obj
+    if summary is None:
+        checker.error(0, "no span-summary line (must be the last line)")
+    else:
+        if summary["spans"] != counts["span"]:
+            checker.error(0, f"summary says {summary['spans']} spans, "
+                             f"file has {counts['span']}")
+        if summary["delivered"] != delivered:
+            checker.error(0, f"summary says {summary['delivered']} delivered, "
+                             f"span lines say {delivered}")
+        if summary["complete"] + summary["orphaned"] != summary["delivered"]:
+            checker.error(0, "summary complete + orphaned != delivered")
+        if summary["complete"] != complete or summary["orphaned"] != orphaned:
+            checker.error(0, f"summary census ({summary['complete']}/{summary['orphaned']}) "
+                             f"disagrees with span lines ({complete}/{orphaned})")
+    print(f"{path}: {counts['span']} span(s), {delivered} delivered, "
+          f"{complete} complete, {orphaned} orphaned")
+    return checker
+
+
+def validate_rollup(path: str, schema: dict) -> Checker:
+    spec = schema["rollup"]
+    checker = Checker(path)
+    name_re = re.compile(spec["name_pattern"])
+    rollups = 0
+    for lineno, obj in iter_jsonl(path, checker):
+        if obj.get("type") != "rollup":
+            checker.error(lineno, f"unknown line type {obj.get('type')!r}")
+            continue
+        rollups += 1
+        if not checker.check_fields(lineno, obj, spec["required_fields"],
+                                    spec["optional_fields"]):
+            continue
+        if obj["executed"] > obj["seeds"]:
+            checker.error(lineno, f"executed {obj['executed']} > seeds {obj['seeds']}")
+        for name, value in obj["counters"].items():
+            if not name_re.match(name):
+                checker.error(lineno, f"malformed counter name '{name}'")
+            if not _TYPE_CHECKS["integer"](value) or value < 0:
+                checker.error(lineno, f"counter '{name}' is not a nonnegative integer")
+        for h in obj["histograms"]:
+            if not isinstance(h, dict):
+                checker.error(lineno, "histogram entry is not an object")
+                continue
+            bounds, bcounts = h.get("bounds", []), h.get("counts", [])
+            if bounds != sorted(bounds):
+                checker.error(lineno, f"histogram '{h.get('name')}' bounds not sorted")
+            if len(bcounts) != len(bounds) + 1:
+                checker.error(lineno, f"histogram '{h.get('name')}' needs "
+                                      f"{len(bounds) + 1} buckets, has {len(bcounts)}")
+            if sum(bcounts) != h.get("count"):
+                checker.error(lineno, f"histogram '{h.get('name')}' bucket counts sum to "
+                                      f"{sum(bcounts)}, count says {h.get('count')}")
+    if rollups == 0:
+        checker.error(0, "no rollup lines — did the sweep run any points?")
+    print(f"{path}: {rollups} rollup line(s)")
+    return checker
+
+
+def validate_flight(path: str, schema: dict) -> Checker:
+    spec = schema["flight"]
+    checker = Checker(path)
+    counts = dict.fromkeys(spec["line_types"], 0)
+    dumps_seen: set[int] = set()
+    for lineno, obj in iter_jsonl(path, checker):
+        ltype = obj.get("type")
+        if ltype not in counts:
+            checker.error(lineno, f"unknown line type {ltype!r}")
+            continue
+        counts[ltype] += 1
+        lspec = spec[ltype]
+        if not checker.check_fields(lineno, obj, lspec["required_fields"],
+                                    lspec.get("optional_fields")):
+            continue
+        if ltype == "flight-dump":
+            dumps_seen.add(obj["dump"])
+        else:
+            if obj["dump"] not in dumps_seen:
+                checker.error(lineno, f"{ltype} references dump {obj['dump']} "
+                                      "with no preceding flight-dump header")
+            if ltype == "flight-record":
+                _check_trace_record(checker, lineno, obj["record"], schema, "record")
+    summary = ", ".join(f"{n} {t}" for t, n in counts.items())
+    print(f"{path}: {summary}")
+    return checker
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--schema", default="scripts/telemetry_schema.json")
     parser.add_argument("--trace", help="trace JSONL file (--trace-out output)")
     parser.add_argument("--metrics", help="metrics JSONL file (--metrics-out output)")
+    parser.add_argument("--spans", help="span JSONL file (--spans-out output)")
+    parser.add_argument("--rollup", help="rollup JSONL sidecar (--rollup-out output)")
+    parser.add_argument("--flight", help="flight-recorder JSONL file (--flight-out output)")
     args = parser.parse_args()
-    if not args.trace and not args.metrics:
-        parser.error("give at least one of --trace / --metrics")
+    if not any([args.trace, args.metrics, args.spans, args.rollup, args.flight]):
+        parser.error("give at least one of --trace / --metrics / --spans / "
+                     "--rollup / --flight")
 
     with open(args.schema) as f:
         schema = json.load(f)
@@ -183,6 +334,12 @@ def main() -> int:
         checkers.append(validate_trace(args.trace, schema))
     if args.metrics:
         checkers.append(validate_metrics(args.metrics, schema))
+    if args.spans:
+        checkers.append(validate_spans(args.spans, schema))
+    if args.rollup:
+        checkers.append(validate_rollup(args.rollup, schema))
+    if args.flight:
+        checkers.append(validate_flight(args.flight, schema))
 
     errors = [e for c in checkers for e in c.errors]
     if errors:

@@ -1,0 +1,83 @@
+#include "analysis/trace_report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace spms::analysis {
+
+TraceReport build_trace_report(const obs::SpanTrace& spans,
+                               const std::vector<double>& node_energy_uj) {
+  TraceReport report;
+  report.journeys = spans.journey_stats();
+
+  // Per-depth accumulation.  The hop latency is child t_data minus parent
+  // t_data — the wait for THIS hop, independent of how long the upstream
+  // chain took; the total is measured against the chain's root.
+  struct Acc {
+    std::size_t count = 0;
+    double hop_sum = 0.0;
+    double hop_max = 0.0;
+    double total_sum = 0.0;
+  };
+  std::map<int, Acc> per_depth;
+  std::unordered_map<net::NodeId, std::uint64_t> served;
+
+  for (const auto& s : spans.spans()) {
+    if (s.parent.valid()) ++served[s.parent];
+    if (!s.delivered) continue;
+    const int depth = spans.depth_of(s);
+    if (depth <= 0) continue;  // roots have no hop; broken chains have no depth
+    const obs::Span* parent = spans.find(s.item, s.parent);
+    if (parent == nullptr || parent->t_data_ms < 0.0 || s.t_data_ms < 0.0) continue;
+    const obs::Span* root = spans.find(s.item, s.item.origin);
+    const double hop_ms = s.t_data_ms - parent->t_data_ms;
+    const double total_ms =
+        (root != nullptr && root->t_data_ms >= 0.0) ? s.t_data_ms - root->t_data_ms : hop_ms;
+    Acc& a = per_depth[depth];
+    ++a.count;
+    a.hop_sum += hop_ms;
+    a.hop_max = std::max(a.hop_max, hop_ms);
+    a.total_sum += total_ms;
+  }
+
+  report.per_depth.reserve(per_depth.size());
+  for (const auto& [depth, a] : per_depth) {
+    HopLatencyStat stat;
+    stat.depth = depth;
+    stat.count = a.count;
+    stat.mean_hop_ms = a.hop_sum / static_cast<double>(a.count);
+    stat.max_hop_ms = a.hop_max;
+    stat.mean_total_ms = a.total_sum / static_cast<double>(a.count);
+    report.per_depth.push_back(stat);
+  }
+
+  // Relay table: union of nodes with relay frames and nodes that served.
+  std::unordered_map<net::NodeId, RelayEnergyRow> rows;
+  for (const auto& [node, load] : spans.relay_loads()) {
+    auto& row = rows[node];
+    row.node = node;
+    row.relayed_req = load.req_frames;
+    row.relayed_data = load.data_frames;
+  }
+  for (const auto& [node, count] : served) {
+    auto& row = rows[node];
+    row.node = node;
+    row.served = count;
+  }
+  report.relays.reserve(rows.size());
+  for (auto& [node, row] : rows) {
+    if (node.v < node_energy_uj.size()) row.energy_uj = node_energy_uj[node.v];
+    report.relays.push_back(row);
+  }
+  std::sort(report.relays.begin(), report.relays.end(), [](const auto& a, const auto& b) {
+    const auto la = a.relayed_req + a.relayed_data;
+    const auto lb = b.relayed_req + b.relayed_data;
+    if (la != lb) return la > lb;
+    if (a.served != b.served) return a.served > b.served;
+    return a.node.v < b.node.v;
+  });
+  return report;
+}
+
+}  // namespace spms::analysis

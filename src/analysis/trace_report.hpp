@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "obs/span_trace.hpp"
+
+/// \file trace_report.hpp
+/// Post-run analysis over a causal span assembly: per-hop latency breakdown
+/// and per-relay energy attribution.
+///
+/// The SpanTrace holds the raw parent-linked journeys; this module condenses
+/// them into the two tables a dissemination study actually reads — how long
+/// each hop ring away from the origin waited for its copy, and which nodes
+/// carried the relay load (and how much energy that cost them).
+
+namespace spms::analysis {
+
+/// Latency of delivered spans at one causal depth (hops from the origin).
+struct HopLatencyStat {
+  int depth = 0;
+  std::size_t count = 0;       ///< delivered spans at this depth
+  double mean_hop_ms = 0.0;    ///< mean of (t_data - parent's t_data)
+  double max_hop_ms = 0.0;
+  double mean_total_ms = 0.0;  ///< mean of (t_data - root's t_data)
+};
+
+/// One node's relay work and what it cost.
+struct RelayEnergyRow {
+  net::NodeId node;
+  std::uint64_t relayed_req = 0;   ///< REQ frames forwarded (SPMS relays)
+  std::uint64_t relayed_data = 0;  ///< DATA frames carried back
+  std::uint64_t served = 0;        ///< spans naming this node as causal parent
+  double energy_uj = 0.0;          ///< the node's total energy spend
+};
+
+struct TraceReport {
+  obs::JourneyStats journeys;
+  std::vector<HopLatencyStat> per_depth;  ///< ascending depth, depth >= 1
+  /// Nodes that relayed or served at least once, descending combined relay
+  /// frames (the busiest carriers first).
+  std::vector<RelayEnergyRow> relays;
+};
+
+/// Builds the report.  `node_energy_uj` is indexed by node id (e.g.
+/// RunResult::node_energy_uj); pass an empty vector when energy attribution
+/// is not wanted — the rows then carry 0.
+[[nodiscard]] TraceReport build_trace_report(const obs::SpanTrace& spans,
+                                             const std::vector<double>& node_energy_uj);
+
+}  // namespace spms::analysis

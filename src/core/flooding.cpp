@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/event_trace.hpp"
+
 namespace spms::core {
 
 FloodingProtocol::FloodingProtocol(sim::Simulation& sim, net::Network& net,
@@ -33,6 +35,7 @@ void FloodingProtocol::flood(net::NodeId self, net::DataId item) {
   net::Packet data;
   data.type = net::PacketType::kData;
   data.item = item;
+  data.holder = self;
   data.size_bytes = params_.data_bytes;
   net_.send(self, data, net_.zone_radius());
 }
@@ -41,6 +44,12 @@ void FloodingProtocol::handle_receive(net::NodeId self, const net::Packet& p) {
   if (p.type != net::PacketType::kData) return;
   auto& agent = *agents_[self.v];
   if (!agent.seen.insert(p.item).second) return;  // implosion duplicate
+  if (sim_.events().enabled()) {
+    // Emitted before the delivery record so the span's causal parent exists
+    // by the time kDelivery closes it.
+    sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kFloodData, .node = self,
+                        .peer = p.src, .parent = p.holder, .item = p.item});
+  }
   if (interest_.wants(self, p.item)) notify_delivered(self, p.item, sim_.now());
   flood(self, p.item);
 }

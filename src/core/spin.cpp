@@ -112,6 +112,10 @@ void SpinProtocol::on_retry_timeout(net::NodeId self, net::DataId item) {
     if (!st.gave_up) {
       st.gave_up = true;
       count_give_up();
+      if (sim_.events().enabled()) {
+        sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kGiveUp, .node = self,
+                            .item = item, .value = static_cast<double>(st.attempts)});
+      }
     }
     return;
   }
@@ -151,6 +155,7 @@ void SpinProtocol::handle_req(net::NodeId self, const net::Packet& p) {
   data.type = net::PacketType::kData;
   data.item = p.item;
   data.requester = p.requester;
+  data.holder = self;
   data.dst = p.requester;
   data.size_bytes = params_.data_bytes;
   net_.send(self, data, net_.zone_radius());
@@ -165,7 +170,7 @@ void SpinProtocol::handle_data(net::NodeId self, const net::Packet& p) {
   st.retry = sim::EventHandle{};
   if (sim_.events().enabled()) {
     sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kSpinData, .node = self,
-                        .peer = p.src, .item = p.item});
+                        .peer = p.src, .parent = p.holder, .item = p.item});
   }
   if (interest_.wants(self, p.item)) notify_delivered(self, p.item, sim_.now());
   broadcast_adv(self, p.item);

@@ -255,6 +255,10 @@ void SpmsProtocol::on_dat_timeout(net::NodeId self, net::DataId item) {
     if (!st.gave_up) {
       st.gave_up = true;
       count_give_up();
+      if (sim_.events().enabled()) {
+        sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kGiveUp, .node = self,
+                            .item = item, .value = static_cast<double>(st.attempts)});
+      }
     }
     return;
   }
@@ -404,6 +408,7 @@ void SpmsProtocol::answer_req(net::NodeId self, const net::Packet& req) {
   data.type = net::PacketType::kData;
   data.item = req.item;
   data.requester = req.requester;
+  data.holder = self;
   data.size_bytes = params_.data_bytes;
   if (req.direct) {
     // "r1 … sends the data as direct transmission because that was the
@@ -478,6 +483,13 @@ void SpmsProtocol::handle_data(net::NodeId self, const net::Packet& p) {
         sim_.cancel(st.adv_timer);
         sim_.cancel(st.dat_timer);
         st.adv_timer = st.dat_timer = sim::EventHandle{};
+        if (sim_.events().enabled()) {
+          // The cached copy makes this relay a holder in its own right; its
+          // span needs a data record so downstream journeys it later serves
+          // chain through it back to the origin.
+          sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kSpmsData, .node = self,
+                              .peer = p.src, .parent = p.holder, .item = p.item});
+        }
         if (interest_.wants(self, p.item)) notify_delivered(self, p.item, sim_.now());
         broadcast_adv(self, p.item);
       }
@@ -494,7 +506,7 @@ void SpmsProtocol::handle_data(net::NodeId self, const net::Packet& p) {
   st.adv_timer = st.dat_timer = sim::EventHandle{};
   if (sim_.events().enabled()) {
     sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kSpmsData, .node = self,
-                        .peer = p.src, .item = p.item});
+                        .peer = p.src, .parent = p.holder, .item = p.item});
   }
   if (interest_.wants(self, p.item)) notify_delivered(self, p.item, sim_.now());
   // "a node [advertises] its own data as well as all received data once."

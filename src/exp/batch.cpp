@@ -1,8 +1,13 @@
 #include "exp/batch.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
+#include <map>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -12,6 +17,119 @@
 #include "exp/store/result_store.hpp"
 
 namespace spms::exp {
+
+namespace {
+
+void append_u64(std::string& s, std::uint64_t v) {
+  char buf[24];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  s.append(buf, p);
+}
+
+void append_double(std::string& s, double v) {
+  if (!std::isfinite(v)) {
+    s += '0';
+    return;
+  }
+  char buf[32];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  s.append(buf, p);
+}
+
+/// Per-point rollup sidecar.  Counters sum and histograms merge over the
+/// point's executed runs in expansion order (the runs vector's order), so
+/// the bytes never depend on worker scheduling; names are emitted sorted.
+void write_rollups(const SweepSpec& spec, const BatchResult& result, const std::string& path) {
+  std::ofstream out{path, std::ios::out | std::ios::trunc};
+  if (!out) throw std::runtime_error{"BatchRunner: cannot open rollup file " + path};
+
+  std::string line;
+  for (const auto& p : result.points()) {
+    std::map<std::string, std::uint64_t> counters;           // sorted by name
+    std::map<std::string, obs::HistogramSnapshot> histograms;
+    std::size_t executed = 0;
+    for (const auto& r : p.runs) {
+      if (r.metrics.empty()) continue;  // a cache hit: no metrics travelled
+      ++executed;
+      for (const auto& [name, value] : r.metrics.counters) counters[name] += value;
+      for (const auto& h : r.metrics.histograms) {
+        auto [it, fresh] = histograms.try_emplace(h.name, h);
+        if (fresh) continue;
+        auto& m = it->second;
+        if (m.bounds != h.bounds) {
+          throw std::runtime_error{"BatchRunner: histogram bounds mismatch for " + h.name};
+        }
+        for (std::size_t i = 0; i < m.counts.size(); ++i) m.counts[i] += h.counts[i];
+        if (h.count > 0) {
+          m.min = m.count > 0 ? std::min(m.min, h.min) : h.min;
+          m.max = m.count > 0 ? std::max(m.max, h.max) : h.max;
+        }
+        m.count += h.count;
+        m.sum += h.sum;
+      }
+    }
+
+    line.clear();
+    line += R"({"type":"rollup","scenario":")";
+    line += spec.name;
+    line += R"(","protocol":")";
+    line += p.runs.empty() ? std::string{} : p.runs.front().protocol;
+    line += R"(","nodes":)";
+    append_u64(line, p.node_count);
+    line += R"(,"radius_m":)";
+    append_double(line, p.zone_radius_m);
+    if (!p.variant.empty()) {
+      line += R"(,"variant":")";
+      line += p.variant;
+      line += '"';
+    }
+    line += R"(,"seeds":)";
+    append_u64(line, p.runs.size());
+    line += R"(,"executed":)";
+    append_u64(line, executed);
+    line += R"(,"counters":{)";
+    bool first = true;
+    for (const auto& [name, value] : counters) {
+      if (!first) line += ',';
+      first = false;
+      line += '"';
+      line += name;
+      line += "\":";
+      append_u64(line, value);
+    }
+    line += R"(},"histograms":[)";
+    first = true;
+    for (const auto& [name, h] : histograms) {
+      if (!first) line += ',';
+      first = false;
+      line += R"({"name":")";
+      line += name;
+      line += R"(","count":)";
+      append_u64(line, h.count);
+      line += R"(,"sum":)";
+      append_double(line, h.sum);
+      line += R"(,"min":)";
+      append_double(line, h.min);
+      line += R"(,"max":)";
+      append_double(line, h.max);
+      line += R"(,"bounds":[)";
+      for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+        if (i > 0) line += ',';
+        append_double(line, h.bounds[i]);
+      }
+      line += R"(],"counts":[)";
+      for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        if (i > 0) line += ',';
+        append_u64(line, h.counts[i]);
+      }
+      line += "]}";
+    }
+    line += "]}\n";
+    out << line;
+  }
+}
+
+}  // namespace
 
 BatchResult::BatchResult(std::vector<SweepJob> jobs, std::vector<RunResult> runs,
                          std::size_t cached)
@@ -88,6 +206,11 @@ BatchResult BatchRunner::run(const SweepSpec& spec) const {
   TelemetryOptions job_telemetry = options_.telemetry;
   job_telemetry.trace_out.clear();
   job_telemetry.metrics_out.clear();
+  job_telemetry.spans_out.clear();
+  job_telemetry.perfetto_out.clear();
+  job_telemetry.flight_out.clear();
+  // The rollup aggregates each executed job's final counters/histograms.
+  if (!options_.rollup_out.empty()) job_telemetry.metrics = true;
 
   std::mutex mu;  // guards on_result + done counter
   std::size_t done = 0;
@@ -108,31 +231,33 @@ BatchResult BatchRunner::run(const SweepSpec& spec) const {
 
   if (workers <= 1) {
     for (const auto i : pending) execute(jobs[i]);
-    return BatchResult{std::move(jobs), std::move(runs), cached};
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= pending.size()) return;
+          try {
+            execute(jobs[pending[i]]);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock{error_mu};
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
   }
 
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= pending.size()) return;
-        try {
-          execute(jobs[pending[i]]);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock{error_mu};
-          if (!first_error) first_error = std::current_exception();
-        }
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
-  return BatchResult{std::move(jobs), std::move(runs), cached};
+  BatchResult result{std::move(jobs), std::move(runs), cached};
+  if (!options_.rollup_out.empty()) write_rollups(spec, result, options_.rollup_out);
+  return result;
 }
 
 std::size_t parse_jobs_env(const char* value) {

@@ -96,10 +96,21 @@ struct BatchOptions {
   /// Telemetry attached to every *executed* job (cache hits carry none).
   /// Zero-perturbation by construction, so results — and therefore store
   /// contents and cache keys — are identical with or without it.  The
-  /// single-file outputs (trace_out / metrics_out) are ignored here: jobs
-  /// run concurrently and would race on the paths; use the in-memory series
-  /// / ring, or run_experiment directly for file capture of a single run.
+  /// single-file outputs (trace_out / metrics_out / spans_out / perfetto_out
+  /// / flight_out) are ignored here: jobs run concurrently and would race on
+  /// the paths; use the in-memory series / ring / spans, or run_experiment
+  /// directly for file capture of a single run.
   TelemetryOptions telemetry;
+
+  /// Non-empty: after the pool drains, write one {"type":"rollup"} JSONL
+  /// line per grid point — counters summed and histograms merged across the
+  /// point's *executed* seeds (cache hits carry no metrics; the line's
+  /// seeds/executed fields account for the split).  Implies
+  /// telemetry.metrics.  A sidecar next to the store, never part of it:
+  /// store bytes stay byte-identical with rollups on or off, and the
+  /// aggregation folds the expansion-order runs vector, so the sidecar is
+  /// byte-identical at any `jobs`.
+  std::string rollup_out;
 };
 
 /// Executes sweeps.  Stateless apart from its options; reusable.

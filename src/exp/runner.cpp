@@ -54,6 +54,15 @@ RunResult run_experiment(const ExperimentConfig& config, const TelemetryOptions&
   r.sim_time_ms = s.simulation().now().to_ms();
   r.events_executed = events;
   r.event_limit_hit = s.simulation().scheduler().event_limit_hit();
+  if (session.spans() != nullptr) {
+    // Captured while the Scenario is still alive; the span assembly's relay
+    // attribution needs per-node spend after the network itself is gone.
+    r.node_energy_uj.reserve(s.network().size());
+    for (std::size_t i = 0; i < s.network().size(); ++i) {
+      r.node_energy_uj.push_back(
+          s.network().node_energy_uj(net::NodeId{static_cast<std::uint32_t>(i)}));
+    }
+  }
   session.finish(r);  // moves the sampled series in, writes output files
   return r;
 }

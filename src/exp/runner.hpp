@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,20 @@ struct RunResult {
   /// so cached and fresh results stay byte-identical whatever the telemetry
   /// options were.
   obs::SeriesSet series;
+
+  /// Causal span assembly of the run (nullptr unless the session's
+  /// span_assembly() was on).  In-memory only, like `series`.
+  std::shared_ptr<const obs::SpanTrace> spans;
+
+  /// Final counter/histogram values (empty unless telemetry.metrics was
+  /// on).  In-memory only, like `series`.
+  obs::MetricsSnapshot metrics;
+
+  /// Per-node total energy spend (uJ), indexed by node id — the raw input
+  /// to relay energy attribution (analysis::build_trace_report).  Filled
+  /// only when `spans` is: without an assembly there is nothing to
+  /// attribute.  In-memory only, like `series`.
+  std::vector<double> node_energy_uj;
 };
 
 /// Builds, runs and summarizes one experiment.

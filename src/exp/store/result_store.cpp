@@ -75,9 +75,18 @@ std::optional<RunResult> ResultStore::find(const std::string& key,
 
 void ResultStore::put(const std::string& key, std::string canonical_config,
                       const RunResult& result) {
+  // Keep only the serialization-faithful view in memory: the telemetry
+  // payloads (sampled series, span assembly, metrics snapshot, per-node
+  // energy) never round-trip through the schema, so an in-process hit must
+  // replay exactly what a fresh instance would read back from disk.
+  RunResult stored = result;
+  stored.series = {};
+  stored.spans.reset();
+  stored.metrics = {};
+  stored.node_energy_uj.clear();
   const std::lock_guard<std::mutex> lock{mu_};
   const auto [it, inserted] =
-      records_.insert_or_assign(key, Record{std::move(canonical_config), result});
+      records_.insert_or_assign(key, Record{std::move(canonical_config), std::move(stored)});
   static_cast<void>(inserted);
   append_line_locked(key, it->second);
 }

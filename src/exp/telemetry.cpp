@@ -49,6 +49,10 @@ TelemetrySession::TelemetrySession(Scenario& scenario, const TelemetryOptions& o
   if (!options_.any()) return;
   active_ = true;
 
+  // A flight dump with no ring would carry no recent past, so an explicit
+  // flight_out implies a default-sized ring.
+  if (!options_.flight_out.empty() && options_.trace_ring == 0) options_.trace_ring = 256;
+
   if (options_.trace_ring > 0) {
     scenario_.simulation().events().enable_ring(options_.trace_ring);
   }
@@ -57,6 +61,17 @@ TelemetrySession::TelemetrySession(Scenario& scenario, const TelemetryOptions& o
     if (!trace_file_) {
       throw std::runtime_error{"TelemetrySession: cannot open trace file " + options_.trace_out};
     }
+  }
+  if (options_.span_assembly()) {
+    span_trace_ = std::make_shared<obs::SpanTrace>();
+  }
+  if (!options_.flight_out.empty()) {
+    flight_file_.open(options_.flight_out, std::ios::out | std::ios::trunc);
+    if (!flight_file_) {
+      throw std::runtime_error{"TelemetrySession: cannot open flight file " + options_.flight_out};
+    }
+    flight_ = std::make_unique<obs::FlightRecorder>(scenario_.simulation().events(), *span_trace_,
+                                                    flight_file_);
   }
 
   register_catalog();
@@ -181,6 +196,10 @@ void TelemetrySession::install_sink() {
     if (r.kind == obs::TraceKind::kDelivery && r.value >= 0.0) {
       registry_.observe(delay_hist_, r.value);
     }
+    // Span assembly first, recorder second: a dump triggered by this record
+    // must see the span set as of this instant (including this record).
+    if (span_trace_) span_trace_->consume(r);
+    if (flight_) flight_->observe(r);
     if (trace_file_.is_open()) {
       scratch_.clear();
       obs::append_record_json(r, scratch_);
@@ -194,6 +213,25 @@ void TelemetrySession::finish(RunResult& result) {
   if (!active_ || finished_) return;
   finished_ = true;
   if (sampler_) result.series = sampler_->take_series();
+  if (options_.metrics) result.metrics = registry_.snapshot();
+  if (span_trace_) {
+    if (!options_.spans_out.empty()) {
+      std::ofstream out{options_.spans_out, std::ios::out | std::ios::trunc};
+      if (!out) {
+        throw std::runtime_error{"TelemetrySession: cannot open spans file " + options_.spans_out};
+      }
+      span_trace_->write_jsonl(out, scenario_.simulation().events().dropped());
+    }
+    if (!options_.perfetto_out.empty()) {
+      std::ofstream out{options_.perfetto_out, std::ios::out | std::ios::trunc};
+      if (!out) {
+        throw std::runtime_error{"TelemetrySession: cannot open perfetto file " +
+                                 options_.perfetto_out};
+      }
+      span_trace_->write_perfetto(out);
+    }
+    result.spans = span_trace_;
+  }
   if (!options_.metrics_out.empty()) write_metrics_file(result);
   detach();
 }
@@ -206,6 +244,7 @@ void TelemetrySession::detach() {
   // The ring (if any) stays attached so post-run code can still read
   // ring_snapshot() off the scenario.
   if (trace_file_.is_open()) trace_file_.close();
+  if (flight_file_.is_open()) flight_file_.close();
 }
 
 void TelemetrySession::write_metrics_file(const RunResult& result) {
@@ -213,6 +252,13 @@ void TelemetrySession::write_metrics_file(const RunResult& result) {
   if (!out) {
     throw std::runtime_error{"TelemetrySession: cannot open metrics file " +
                              options_.metrics_out};
+  }
+
+  if (options_.metrics_format == TelemetryOptions::MetricsFormat::kProm) {
+    // The exposition format has no series/sample concept; the final state
+    // is what a scrape would see.
+    registry_.write_prometheus(out);
+    return;
   }
 
   std::string line;

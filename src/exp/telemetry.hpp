@@ -7,8 +7,10 @@
 #include <string>
 
 #include "obs/event_trace.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
+#include "obs/span_trace.hpp"
 
 /// \file telemetry.hpp
 /// Per-run telemetry wiring: one TelemetrySession observes one Scenario.
@@ -52,9 +54,34 @@ struct TelemetryOptions {
   /// series to this JSONL file.
   std::string metrics_out;
 
+  /// Format of metrics_out: JSONL (the default) or Prometheus text
+  /// exposition.  A format alone does not activate the session.
+  enum class MetricsFormat { kJson, kProm };
+  MetricsFormat metrics_format = MetricsFormat::kJson;
+
+  /// Assemble causal dissemination spans in memory (obs::SpanTrace); the
+  /// result lands in RunResult::spans.  Implied by the three outputs below.
+  bool spans = false;
+
+  /// Non-empty: write the assembled spans as queryable JSONL.
+  std::string spans_out;
+
+  /// Non-empty: write the assembled spans as Chrome/Perfetto trace-event
+  /// JSON (load in ui.perfetto.dev).
+  std::string perfetto_out;
+
+  /// Non-empty: attach an obs::FlightRecorder dumping ring + open spans to
+  /// this JSONL file on anomalies.  Forces a default ring of 256 records
+  /// when trace_ring is 0 (a flight dump with no ring is pointless).
+  std::string flight_out;
+
+  [[nodiscard]] bool span_assembly() const {
+    return spans || !spans_out.empty() || !perfetto_out.empty() || !flight_out.empty();
+  }
+
   [[nodiscard]] bool any() const {
     return metrics || sample_every_ms > 0.0 || trace_ring > 0 || !trace_out.empty() ||
-           !metrics_out.empty();
+           !metrics_out.empty() || span_assembly();
   }
 };
 
@@ -72,6 +99,10 @@ class TelemetrySession {
   [[nodiscard]] bool active() const { return active_; }
   [[nodiscard]] const obs::MetricsRegistry& registry() const { return registry_; }
   [[nodiscard]] const obs::Sampler* sampler() const { return sampler_.get(); }
+  /// The span assembly, or nullptr when span_assembly() was off.
+  [[nodiscard]] const obs::SpanTrace* spans() const { return span_trace_.get(); }
+  /// The flight recorder, or nullptr when flight_out was empty.
+  [[nodiscard]] const obs::FlightRecorder* flight() const { return flight_.get(); }
 
   /// Moves the sampled series into `result`, writes metrics_out if
   /// requested, and detaches every hook/sink.  Idempotent; the destructor
@@ -96,7 +127,12 @@ class TelemetrySession {
   std::array<obs::CounterHandle, obs::kTraceKindCount> kind_counters_{};
   obs::HistogramHandle delay_hist_;
   std::unique_ptr<obs::Sampler> sampler_;
+  /// shared_ptr because finish() hands the assembly to RunResult::spans
+  /// without copying it.
+  std::shared_ptr<obs::SpanTrace> span_trace_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
   std::ofstream trace_file_;
+  std::ofstream flight_file_;
   std::string scratch_;  ///< reused JSONL line buffer
 };
 

@@ -46,6 +46,11 @@ struct Packet {
   // --- REQ bookkeeping -----------------------------------------------------
   NodeId requester;  ///< node that wants the data
   NodeId target;     ///< node the REQ is ultimately addressed to (a holder)
+  /// DATA only: the holder that served the item.  Survives relay forwarding
+  /// unchanged (relays rewrite src/dst but not holder), so the receiver can
+  /// stamp the causal parent of its acquisition even when relays carried the
+  /// frame.  Pure observability — no protocol logic reads it.
+  NodeId holder;
   bool direct = false;  ///< REQ sent as one direct (possibly high-power) hop;
                         ///< the holder answers with a direct DATA (§3.5)
   std::uint16_t attempt = 0;  ///< requester's (re)try counter; holders use it

@@ -141,6 +141,8 @@ const char* trace_kind_name(TraceKind k) {
     case TraceKind::kSpinReq: return "spin-req";
     case TraceKind::kSpinData: return "spin-data";
     case TraceKind::kNodeDown: return "node-down";
+    case TraceKind::kFloodData: return "flood-data";
+    case TraceKind::kGiveUp: return "give-up";
   }
   return "unknown";
 }
@@ -199,6 +201,10 @@ void append_record_json(const TraceRecord& r, std::string& out) {
   if (r.via.valid()) {
     out += ",\"via\":";
     append_u64(out, r.via.v);
+  }
+  if (r.parent.valid()) {
+    out += ",\"parent\":";
+    append_u64(out, r.parent.v);
   }
   if (r.item.origin.valid()) {
     out += ",\"item\":\"";

@@ -53,11 +53,13 @@ enum class TraceKind : std::uint8_t {
   kSpinReq,               ///< REQ of `item` to `peer`
   kSpinData,              ///< DATA of `item` from `peer`
   kNodeDown,              ///< legacy FailureInjector crash notice
+  kFloodData,             ///< flooding: first copy of `item` reached `node` from `peer`
+  kGiveUp,                ///< acquisition abandoned after max retries; value = attempts
 };
 
 /// Number of TraceKind values (sized for per-kind lookup tables).
 inline constexpr std::size_t kTraceKindCount =
-    static_cast<std::size_t>(TraceKind::kNodeDown) + 1;
+    static_cast<std::size_t>(TraceKind::kGiveUp) + 1;
 
 /// Cause codes for kFrameDrop; mirrors net::NetCounters' dropped_* fields.
 enum class DropCause : std::uint8_t {
@@ -95,6 +97,12 @@ struct TraceRecord {
   net::NodeId node;   ///< primary subject
   net::NodeId peer;   ///< counterpart (REQ target, DATA source, requester…)
   net::NodeId via;    ///< relay / next hop where applicable
+  /// Causal parent of this record's (item, node) span: the upstream node
+  /// whose span the data came from (the answering holder for SPMS — which
+  /// may differ from `peer` when relays carried the DATA — the serving
+  /// advertiser for SPIN, the rebroadcaster for flooding).  Invalid on
+  /// records that carry no causality; SpanTrace links journeys through it.
+  net::NodeId parent;
   net::DataId item;
   double value = 0.0;  ///< delay ms, residual fraction, changed entries…
 };

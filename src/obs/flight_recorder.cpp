@@ -1,0 +1,113 @@
+#include "obs/flight_recorder.hpp"
+
+#include <charconv>
+#include <string>
+
+namespace spms::obs {
+
+namespace {
+
+/// Open spans per dump: enough context to see what was in flight without an
+/// anomaly inside a large campaign ballooning the file.
+constexpr std::size_t kMaxOpenSpansPerDump = 256;
+
+void append_u64(std::string& s, std::uint64_t v) {
+  char buf[24];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  s.append(buf, p);
+}
+
+void append_double(std::string& s, double v) {
+  char buf[32];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  s.append(buf, p);
+}
+
+void append_item(std::string& s, net::DataId item) {
+  s += 'n';
+  append_u64(s, item.origin.v);
+  s += '#';
+  append_u64(s, item.seq);
+}
+
+}  // namespace
+
+void FlightRecorder::observe(const TraceRecord& r) {
+  if (!is_anomaly(r)) return;
+  if (dumps_ >= max_dumps_) {
+    ++suppressed_;
+    return;
+  }
+  dump(r);
+}
+
+void FlightRecorder::dump(const TraceRecord& trigger) {
+  ++dumps_;
+  const auto ring = events_.ring_snapshot();
+
+  std::size_t open = 0;
+  for (const auto& s : spans_.spans()) {
+    if (s.open()) ++open;
+  }
+
+  std::string line;
+  line += R"({"type":"flight-dump","dump":)";
+  append_u64(line, dumps_);
+  line += R"(,"t_ms":)";
+  append_double(line, trigger.at.to_ms());
+  line += R"(,"trigger":")";
+  line += trace_kind_name(trigger.kind);
+  line += '"';
+  if (const char* cause = trace_cause_name(trigger.kind, trigger.cause)) {
+    line += R"(,"cause":")";
+    line += cause;
+    line += '"';
+  }
+  if (trigger.node.valid()) {
+    line += R"(,"node":)";
+    append_u64(line, trigger.node.v);
+  }
+  if (trigger.item.origin.valid()) {
+    line += R"(,"item":")";
+    append_item(line, trigger.item);
+    line += '"';
+  }
+  line += R"(,"ring":)";
+  append_u64(line, ring.size());
+  line += R"(,"open_spans":)";
+  append_u64(line, open);
+  line += "}\n";
+  out_ << line;
+
+  for (const auto& rec : ring) {
+    line.clear();
+    line += R"({"type":"flight-record","dump":)";
+    append_u64(line, dumps_);
+    line += R"(,"record":)";
+    append_record_json(rec, line);
+    line += "}\n";
+    out_ << line;
+  }
+
+  std::size_t written = 0;
+  for (const auto& s : spans_.spans()) {
+    if (!s.open()) continue;
+    if (written >= kMaxOpenSpansPerDump) break;
+    ++written;
+    line.clear();
+    line += R"({"type":"flight-span","dump":)";
+    append_u64(line, dumps_);
+    line += R"(,"item":")";
+    append_item(line, s.item);
+    line += R"(","node":)";
+    append_u64(line, s.node.v);
+    line += R"(,"t_start_ms":)";
+    append_double(line, s.t_start_ms);
+    line += R"(,"requests":)";
+    append_u64(line, s.requests);
+    line += "}\n";
+    out_ << line;
+  }
+}
+
+}  // namespace spms::obs

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+
+#include "obs/event_trace.hpp"
+#include "obs/span_trace.hpp"
+
+/// \file flight_recorder.hpp
+/// Anomaly-triggered post-mortem dumps.
+///
+/// A FlightRecorder watches the typed trace stream for anomalies — a
+/// delivery failure (kGiveUp), a node death (kFaultTransition), which is
+/// also how sink churn manifests — and on each one dumps the EventTrace's
+/// bounded ring (the recent past) plus every open span (acquisitions in
+/// flight) to a JSONL file.  Dump count is capped so a fault storm yields
+/// the first few post-mortems instead of an unbounded file.
+///
+/// Strictly observational: observe() only reads the ring and the span set,
+/// so an attached recorder keeps the zero-perturbation contract.
+
+namespace spms::obs {
+
+class FlightRecorder {
+ public:
+  /// Anomalies after the cap only count (`suppressed()`), they don't dump.
+  static constexpr std::size_t kDefaultMaxDumps = 8;
+
+  /// `events` supplies the ring snapshot, `spans` the open spans; both must
+  /// outlive the recorder.  `out` receives the JSONL dump stream.
+  FlightRecorder(const EventTrace& events, const SpanTrace& spans, std::ostream& out,
+                 std::size_t max_dumps = kDefaultMaxDumps)
+      : events_(events), spans_(spans), out_(out), max_dumps_(max_dumps) {}
+
+  /// Feed every trace record (after the SpanTrace consumed it, so open
+  /// spans reflect the state at the trigger instant).
+  void observe(const TraceRecord& r);
+
+  [[nodiscard]] std::size_t dumps() const { return dumps_; }
+  [[nodiscard]] std::size_t suppressed() const { return suppressed_; }
+
+ private:
+  [[nodiscard]] static bool is_anomaly(const TraceRecord& r) {
+    return r.kind == TraceKind::kGiveUp || r.kind == TraceKind::kFaultTransition;
+  }
+
+  void dump(const TraceRecord& trigger);
+
+  const EventTrace& events_;
+  const SpanTrace& spans_;
+  std::ostream& out_;
+  std::size_t max_dumps_;
+  std::size_t dumps_ = 0;
+  std::size_t suppressed_ = 0;
+};
+
+}  // namespace spms::obs

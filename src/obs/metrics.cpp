@@ -2,8 +2,44 @@
 
 #include <algorithm>
 #include <cassert>
+#include <charconv>
+#include <cmath>
 
 namespace spms::obs {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; our registry
+/// names use '.' and '-' as separators, which map to '_'.
+std::string prom_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9')) out.insert(out.begin(), '_');
+  return out;
+}
+
+void append_u64(std::string& s, std::uint64_t v) {
+  char buf[24];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  s.append(buf, p);
+}
+
+void append_double(std::string& s, double v) {
+  if (std::isinf(v)) {
+    s += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[32];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  s.append(buf, p);
+}
+
+}  // namespace
 
 CounterHandle MetricsRegistry::counter(std::string_view name) {
   const auto it = counter_index_.find(std::string{name});
@@ -96,6 +132,72 @@ std::vector<HistogramSnapshot> MetricsRegistry::histogram_snapshots() const {
     out.push_back(HistogramSnapshot{h.name, h.bounds, h.counts, h.count, h.sum, h.min, h.max});
   }
   return out;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const Counter& c : counters_) out.counters.emplace_back(c.name, c.value);
+  out.histograms = histogram_snapshots();
+  return out;
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& out) const {
+  std::string buf;
+  for (const Counter& c : counters_) {
+    const std::string name = prom_name(c.name);
+    buf.clear();
+    buf += "# TYPE ";
+    buf += name;
+    buf += " counter\n";
+    buf += name;
+    buf += ' ';
+    append_u64(buf, c.value);
+    buf += '\n';
+    out << buf;
+  }
+  for (const Gauge& g : gauges_) {
+    const std::string name = prom_name(g.name);
+    buf.clear();
+    buf += "# TYPE ";
+    buf += name;
+    buf += " gauge\n";
+    buf += name;
+    buf += ' ';
+    append_double(buf, g.fn());
+    buf += '\n';
+    out << buf;
+  }
+  for (const Histogram& h : histograms_) {
+    const std::string name = prom_name(h.name);
+    buf.clear();
+    buf += "# TYPE ";
+    buf += name;
+    buf += " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      buf += name;
+      buf += "_bucket{le=\"";
+      if (i < h.bounds.size()) {
+        append_double(buf, h.bounds[i]);
+      } else {
+        buf += "+Inf";
+      }
+      buf += "\"} ";
+      append_u64(buf, cumulative);
+      buf += '\n';
+    }
+    buf += name;
+    buf += "_sum ";
+    append_double(buf, h.sum);
+    buf += '\n';
+    buf += name;
+    buf += "_count ";
+    append_u64(buf, h.count);
+    buf += '\n';
+    out << buf;
+  }
 }
 
 }  // namespace spms::obs

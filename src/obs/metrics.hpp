@@ -2,9 +2,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <ostream>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 /// \file metrics.hpp
@@ -54,6 +56,24 @@ struct HistogramSnapshot {
   double max = 0.0;
 };
 
+/// Detached copy of a registry's counters and histograms — what a RunResult
+/// can carry after the registry (and the run that owned it) is gone.  Gauges
+/// are deliberately absent: they are views into live simulation state and
+/// die with it.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  ///< registration order
+  std::vector<HistogramSnapshot> histograms;
+
+  [[nodiscard]] bool empty() const { return counters.empty() && histograms.empty(); }
+
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const {
+    for (const auto& [n, v] : counters) {
+      if (n == name) return v;
+    }
+    return 0;
+  }
+};
+
 /// The per-run metrics registry.
 class MetricsRegistry {
  public:
@@ -94,6 +114,15 @@ class MetricsRegistry {
   void visit_counters(const std::function<void(std::string_view, std::uint64_t)>& fn) const;
   void visit_gauges(const std::function<void(std::string_view, double)>& fn) const;
   [[nodiscard]] std::vector<HistogramSnapshot> histogram_snapshots() const;
+
+  /// Detached counters + histograms (see MetricsSnapshot).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Prometheus text exposition (version 0.0.4): counters and evaluated
+  /// gauges as single samples, histograms as the le-bucket family
+  /// (`_bucket`/`_sum`/`_count`).  Metric names are sanitized to the
+  /// [a-zA-Z0-9_] charset ('.' and '-' become '_').
+  void write_prometheus(std::ostream& out) const;
 
   [[nodiscard]] std::size_t counter_count() const { return counters_.size(); }
   [[nodiscard]] std::size_t gauge_count() const { return gauges_.size(); }

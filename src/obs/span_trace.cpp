@@ -1,0 +1,293 @@
+#include "obs/span_trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <string>
+
+namespace spms::obs {
+
+namespace {
+
+void append_u64(std::string& s, std::uint64_t v) {
+  char buf[24];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  s.append(buf, p);
+}
+
+void append_double(std::string& s, double v) {
+  char buf[32];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  s.append(buf, p);
+}
+
+void append_item(std::string& s, net::DataId item) {
+  s += 'n';
+  append_u64(s, item.origin.v);
+  s += '#';
+  append_u64(s, item.seq);
+}
+
+}  // namespace
+
+Span& SpanTrace::span_of(net::DataId item, net::NodeId node) {
+  const auto [it, fresh] = index_.try_emplace(Key{item, node}, spans_.size());
+  if (fresh) {
+    auto& s = spans_.emplace_back();
+    s.item = item;
+    s.node = node;
+  }
+  return spans_[it->second];
+}
+
+void SpanTrace::consume(const TraceRecord& r) {
+  ++records_seen_;
+  const double t = r.at.to_ms();
+  switch (r.kind) {
+    case TraceKind::kPublish: {
+      Span& s = span_of(r.item, r.node);
+      s.root = true;
+      s.has_data = true;
+      if (s.t_start_ms < 0.0) s.t_start_ms = t;
+      if (s.t_data_ms < 0.0) s.t_data_ms = t;
+      break;
+    }
+    case TraceKind::kSpmsReqDirect:
+    case TraceKind::kSpmsReqMultihop:
+    case TraceKind::kSpmsReqCrosszone:
+    case TraceKind::kSpinReq: {
+      Span& s = span_of(r.item, r.node);
+      ++s.requests;
+      if (s.t_start_ms < 0.0) s.t_start_ms = t;
+      if (s.t_first_req_ms < 0.0) s.t_first_req_ms = t;
+      break;
+    }
+    case TraceKind::kSpmsData:
+    case TraceKind::kSpinData:
+    case TraceKind::kFloodData: {
+      Span& s = span_of(r.item, r.node);
+      if (s.t_start_ms < 0.0) s.t_start_ms = t;
+      if (!s.has_data) {
+        s.has_data = true;
+        s.t_data_ms = t;
+        s.parent = r.parent.valid() ? r.parent : r.peer;
+        s.data_src = r.peer;
+      }
+      break;
+    }
+    case TraceKind::kDelivery: {
+      Span& s = span_of(r.item, r.node);
+      if (s.t_start_ms < 0.0) s.t_start_ms = t;
+      if (s.t_data_ms < 0.0) s.t_data_ms = t;
+      s.has_data = true;
+      s.delivered = true;
+      s.delay_ms = r.value;
+      break;
+    }
+    case TraceKind::kGiveUp: {
+      Span& s = span_of(r.item, r.node);
+      if (s.t_start_ms < 0.0) s.t_start_ms = t;
+      s.gave_up = true;
+      break;
+    }
+    case TraceKind::kSpmsRelayReq:
+      ++relay_[r.node].req_frames;
+      break;
+    case TraceKind::kSpmsRelayData:
+      ++relay_[r.node].data_frames;
+      break;
+    default:
+      break;  // no span content (ADVs, drops, faults, battery, routing…)
+  }
+}
+
+const Span* SpanTrace::find(net::DataId item, net::NodeId node) const {
+  const auto it = index_.find(Key{item, node});
+  return it == index_.end() ? nullptr : &spans_[it->second];
+}
+
+const Span* SpanTrace::parent_of(const Span& s) const {
+  if (!s.parent.valid()) return nullptr;
+  return find(s.item, s.parent);
+}
+
+int SpanTrace::depth_of(const Span& s) const {
+  int depth = 0;
+  const Span* cur = &s;
+  // The chain length is bounded by the span count; anything longer is a
+  // cycle (a corrupt stream) and reads as broken rather than looping.
+  for (std::size_t guard = 0; guard <= spans_.size(); ++guard) {
+    if (cur->root) return depth;
+    const Span* up = parent_of(*cur);
+    if (up == nullptr) return -1;
+    cur = up;
+    ++depth;
+  }
+  return -1;
+}
+
+JourneyStats SpanTrace::journey_stats() const {
+  JourneyStats js;
+  js.spans = spans_.size();
+  for (const auto& s : spans_) {
+    if (!s.delivered) continue;
+    ++js.delivered;
+    const int d = depth_of(s);
+    if (d >= 0) {
+      ++js.complete;
+      js.max_depth = std::max(js.max_depth, static_cast<std::size_t>(d));
+    } else {
+      ++js.orphaned;
+    }
+  }
+  return js;
+}
+
+std::vector<std::pair<net::NodeId, RelayLoad>> SpanTrace::relay_loads() const {
+  std::vector<std::pair<net::NodeId, RelayLoad>> out(relay_.begin(), relay_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first.v < b.first.v; });
+  return out;
+}
+
+void SpanTrace::write_jsonl(std::ostream& out, std::uint64_t ring_dropped) const {
+  std::string line;
+  for (const auto& s : spans_) {
+    line.clear();
+    line += R"({"type":"span","item":")";
+    append_item(line, s.item);
+    line += R"(","node":)";
+    append_u64(line, s.node.v);
+    if (s.parent.valid()) {
+      line += R"(,"parent":)";
+      append_u64(line, s.parent.v);
+    }
+    if (s.data_src.valid() && s.data_src != s.parent) {
+      line += R"(,"data_src":)";
+      append_u64(line, s.data_src.v);
+    }
+    line += R"(,"t_start_ms":)";
+    append_double(line, s.t_start_ms);
+    if (s.t_first_req_ms >= 0.0) {
+      line += R"(,"t_first_req_ms":)";
+      append_double(line, s.t_first_req_ms);
+    }
+    if (s.t_data_ms >= 0.0) {
+      line += R"(,"t_data_ms":)";
+      append_double(line, s.t_data_ms);
+    }
+    if (s.delivered) {
+      line += R"(,"delay_ms":)";
+      append_double(line, s.delay_ms);
+    }
+    line += R"(,"requests":)";
+    append_u64(line, s.requests);
+    const int depth = depth_of(s);
+    if (depth >= 0) {
+      line += R"(,"depth":)";
+      append_u64(line, static_cast<std::uint64_t>(depth));
+    }
+    if (s.root) line += R"(,"root":1)";
+    if (s.delivered) line += R"(,"delivered":1)";
+    if (s.gave_up) line += R"(,"gave_up":1)";
+    line += "}\n";
+    out << line;
+  }
+  const JourneyStats js = journey_stats();
+  line.clear();
+  line += R"({"type":"span-summary","spans":)";
+  append_u64(line, js.spans);
+  line += R"(,"delivered":)";
+  append_u64(line, js.delivered);
+  line += R"(,"complete":)";
+  append_u64(line, js.complete);
+  line += R"(,"orphaned":)";
+  append_u64(line, js.orphaned);
+  line += R"(,"max_depth":)";
+  append_u64(line, js.max_depth);
+  line += R"(,"records_seen":)";
+  append_u64(line, records_seen_);
+  line += R"(,"ring_dropped":)";
+  append_u64(line, ring_dropped);
+  line += "}\n";
+  out << line;
+}
+
+void SpanTrace::write_perfetto(std::ostream& out) const {
+  // Chrome trace-event format: timestamps in microseconds.  Each item maps
+  // to one pid (its first-seen index) so the UI groups a journey's slices;
+  // tid is the node.  Flow events draw the parent->child causality arrows.
+  std::string line;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& ev) {
+    if (!first) out << ',';
+    first = false;
+    out << '\n' << ev;
+  };
+
+  std::unordered_map<net::DataId, std::size_t> item_pid;
+  const auto pid_of = [&](net::DataId item) {
+    return item_pid.try_emplace(item, item_pid.size()).first->second;
+  };
+
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    if (s.t_start_ms < 0.0) continue;
+    const double end_ms = s.t_data_ms >= 0.0 ? s.t_data_ms : s.t_start_ms;
+    line.clear();
+    line += R"({"name":")";
+    append_item(line, s.item);
+    line += "@n";
+    append_u64(line, s.node.v);
+    line += R"(","cat":"span","ph":"X","ts":)";
+    append_double(line, s.t_start_ms * 1000.0);
+    line += R"(,"dur":)";
+    append_double(line, (end_ms - s.t_start_ms) * 1000.0);
+    line += R"(,"pid":)";
+    append_u64(line, pid_of(s.item));
+    line += R"(,"tid":)";
+    append_u64(line, s.node.v);
+    line += R"(,"args":{"requests":)";
+    append_u64(line, s.requests);
+    if (s.parent.valid()) {
+      line += R"(,"parent":)";
+      append_u64(line, s.parent.v);
+    }
+    if (s.delivered) {
+      line += R"(,"delay_ms":)";
+      append_double(line, s.delay_ms);
+    }
+    line += s.root ? R"(,"root":1}})" : "}}";
+    emit(line);
+
+    // Flow arrow from the parent's completion to this span's completion.
+    const Span* up = parent_of(s);
+    if (up == nullptr || up->t_data_ms < 0.0 || s.t_data_ms < 0.0) continue;
+    const std::uint64_t flow_id = static_cast<std::uint64_t>(i) + 1;
+    line.clear();
+    line += R"({"name":"hop","cat":"hop","ph":"s","id":)";
+    append_u64(line, flow_id);
+    line += R"(,"ts":)";
+    append_double(line, up->t_data_ms * 1000.0);
+    line += R"(,"pid":)";
+    append_u64(line, pid_of(s.item));
+    line += R"(,"tid":)";
+    append_u64(line, up->node.v);
+    line += '}';
+    emit(line);
+    line.clear();
+    line += R"({"name":"hop","cat":"hop","ph":"f","bp":"e","id":)";
+    append_u64(line, flow_id);
+    line += R"(,"ts":)";
+    append_double(line, s.t_data_ms * 1000.0);
+    line += R"(,"pid":)";
+    append_u64(line, pid_of(s.item));
+    line += R"(,"tid":)";
+    append_u64(line, s.node.v);
+    line += '}';
+    emit(line);
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace spms::obs

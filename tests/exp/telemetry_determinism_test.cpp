@@ -32,6 +32,7 @@ TelemetryOptions fully_on() {
   t.metrics = true;
   t.sample_every_ms = 5.0;
   t.trace_ring = 512;
+  t.spans = true;  // causal span assembly rides the same sink, same contract
   return t;
 }
 

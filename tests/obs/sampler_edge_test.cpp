@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+
+/// Edge cases of the Sampler's fixed-grid semantics: intervals longer than
+/// the whole run, zero-duration runs, and samples landing exactly on the
+/// final grid boundary.
+
+namespace spms::obs {
+namespace {
+
+sim::TimePoint at(double ms) { return sim::TimePoint::zero() + sim::Duration::ms(ms); }
+
+MetricsRegistry one_gauge_registry() {
+  MetricsRegistry reg;
+  reg.register_gauge("g", [] { return 1.0; });
+  return reg;
+}
+
+TEST(SamplerEdge, IntervalLongerThanRunStillYieldsTheFirstSample) {
+  const auto reg = one_gauge_registry();
+  Sampler s{reg, sim::Duration::ms(1e9)};
+  // A short run: dispatches at 0, 1, 2 ms — far inside the first interval.
+  s.observe(at(0.0));
+  s.observe(at(1.0));
+  s.observe(at(2.0));
+  // next_due_ starts at zero, so the very first dispatch samples; the grid
+  // then jumps past the run's end and nothing else fires.
+  ASSERT_EQ(s.series().samples(), 1u);
+  EXPECT_DOUBLE_EQ(s.series().t_ms[0], 0.0);
+}
+
+TEST(SamplerEdge, ZeroDurationRunSamplesExactlyOnce) {
+  const auto reg = one_gauge_registry();
+  Sampler s{reg, sim::Duration::ms(10.0)};
+  // Every event of the run fires at t = 0 (e.g. a run that publishes and
+  // immediately hits its event limit).
+  s.observe(at(0.0));
+  s.observe(at(0.0));
+  s.observe(at(0.0));
+  ASSERT_EQ(s.series().samples(), 1u);
+  EXPECT_DOUBLE_EQ(s.series().t_ms[0], 0.0);
+  EXPECT_EQ(s.series().rows[0].size(), 1u);
+}
+
+TEST(SamplerEdge, FinalBoundarySampleIsTakenWhenAnEventLandsOnIt) {
+  const auto reg = one_gauge_registry();
+  Sampler s{reg, sim::Duration::ms(10.0)};
+  s.observe(at(0.0));   // grid: due 0 -> sampled, next due 10
+  s.observe(at(5.0));   // inside the interval: no sample
+  s.observe(at(10.0));  // exactly on the final boundary: sampled
+  ASSERT_EQ(s.series().samples(), 2u);
+  EXPECT_DOUBLE_EQ(s.series().t_ms[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.series().t_ms[1], 10.0);
+}
+
+TEST(SamplerEdge, NoDispatchesMeansNoSamples) {
+  const auto reg = one_gauge_registry();
+  Sampler s{reg, sim::Duration::ms(10.0)};
+  // A run that never executes an event never calls the hook: the series
+  // stays empty rather than inventing a t=0 row.
+  EXPECT_EQ(s.series().samples(), 0u);
+  EXPECT_TRUE(s.series().empty());
+}
+
+TEST(SamplerEdge, TakeSeriesResetsForReuse) {
+  const auto reg = one_gauge_registry();
+  Sampler s{reg, sim::Duration::ms(10.0)};
+  s.observe(at(0.0));
+  auto series = s.take_series();
+  EXPECT_EQ(series.samples(), 1u);
+  EXPECT_EQ(s.series().samples(), 0u);
+}
+
+}  // namespace
+}  // namespace spms::obs
