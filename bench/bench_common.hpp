@@ -1,9 +1,13 @@
 #pragma once
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <new>
 #include <string>
+
+#include <sys/resource.h>
 
 #include "exp/batch.hpp"
 #include "exp/runner.hpp"
@@ -25,7 +29,71 @@
 /// bench through the persistent result store, so a figure rerun after a
 /// calibration tweak only pays for the changed cells.
 
+// --- memory / allocation instrumentation -------------------------------------
+//
+// Define SPMS_BENCH_COUNT_ALLOCS before including this header to replace the
+// global operator new/delete with counting wrappers and make alloc_count()
+// live.  The replaceable allocation functions may be defined in exactly one
+// translation unit per binary; every bench is a single .cpp, so the macro is
+// safe there and the library itself never sees the overrides.
+
+#ifdef SPMS_BENCH_COUNT_ALLOCS
+
+namespace spms::bench::detail {
+inline std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace spms::bench::detail
+
+void* operator new(std::size_t size) {
+  spms::bench::detail::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) {
+  spms::bench::detail::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  spms::bench::detail::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  spms::bench::detail::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) return p;
+  throw std::bad_alloc{};
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+#endif  // SPMS_BENCH_COUNT_ALLOCS
+
 namespace spms::bench {
+
+/// Global operator-new invocations so far.  Always callable; only counts
+/// (instead of pinning 0) in binaries compiled with SPMS_BENCH_COUNT_ALLOCS.
+inline std::size_t alloc_count() {
+#ifdef SPMS_BENCH_COUNT_ALLOCS
+  return detail::g_alloc_count.load(std::memory_order_relaxed);
+#else
+  return 0;
+#endif
+}
+
+/// Peak resident set size of this process, in bytes (Linux ru_maxrss is
+/// KiB).  Monotonic over the process lifetime — run workloads in ascending
+/// size order if per-workload peaks are wanted.
+inline std::size_t peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024u;
+}
 
 /// Reference experiment configuration (delegates to the registry).
 inline exp::ExperimentConfig reference_config() { return exp::reference_config(); }

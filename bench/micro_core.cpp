@@ -17,67 +17,37 @@
 
 #include <benchmark/benchmark.h>
 
-#include <atomic>
-#include <cstdlib>
-#include <new>
 #include <vector>
+
+// Counting operator new/delete (bench_common.hpp): allocs_per_op feeds the
+// CI perf gate alongside items_per_second and peak_rss_mb.
+#define SPMS_BENCH_COUNT_ALLOCS
+#include "bench_common.hpp"
 
 #include "exp/runner.hpp"
 #include "net/topology.hpp"
 #include "routing/bellman_ford.hpp"
 #include "sim/simulation.hpp"
 
-// --- global allocation counter ----------------------------------------------
-// Counts every operator-new so benches can report allocs_per_op.  Only the
-// bench binary defines these overrides; the library never sees them.
-
-namespace {
-std::atomic<std::size_t> g_alloc_count{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc{};
-}
-void* operator new[](std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc{};
-}
-void* operator new(std::size_t size, std::align_val_t align) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) return p;
-  throw std::bad_alloc{};
-}
-void* operator new[](std::size_t size, std::align_val_t align) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) return p;
-  throw std::bad_alloc{};
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
-
 namespace {
 
 using namespace spms;
 
 /// RAII helper: snapshots the alloc counter around the timed loop and writes
-/// the allocs_per_op counter when the benchmark finishes.
+/// the allocs_per_op and peak_rss_mb counters when the benchmark finishes.
+/// Peak RSS is process-monotonic, so the number is a high-water mark up to
+/// and including this benchmark, not a per-benchmark footprint — it gates
+/// "the suite never ballooned", not "this case allocated X".
 class AllocCounter {
  public:
   explicit AllocCounter(benchmark::State& state)
-      : state_(state), start_(g_alloc_count.load(std::memory_order_relaxed)) {}
+      : state_(state), start_(bench::alloc_count()) {}
   ~AllocCounter() {
-    const auto total = g_alloc_count.load(std::memory_order_relaxed) - start_;
+    const auto total = bench::alloc_count() - start_;
     state_.counters["allocs_per_op"] = benchmark::Counter(
         static_cast<double>(total) / static_cast<double>(state_.iterations()));
+    state_.counters["peak_rss_mb"] =
+        benchmark::Counter(static_cast<double>(bench::peak_rss_bytes()) / (1024.0 * 1024.0));
   }
 
  private:

@@ -20,6 +20,12 @@ as 10-100x), not microarchitectural noise.
 --only restricts the gate to benchmarks whose name matches the regex —
 used by the telemetry-smoke job to gate just the EndToEndSmallRun pair at a
 tighter threshold without subjecting every microbench to it.
+
+--max-regress FACTOR additionally gates the memory counters (allocs_per_op,
+peak_rss_mb): a benchmark fails when a fresh counter exceeds baseline *
+FACTOR.  Unlike wall time these are near-deterministic, so the factor can be
+much tighter than --threshold; it catches pooling/SBO work silently rotting
+back into per-item heap churn, which a 2x time gate would never see.
 """
 
 from __future__ import annotations
@@ -56,6 +62,9 @@ def main() -> int:
                         help="allowed slowdown factor before failing (default 2.0)")
     parser.add_argument("--only", metavar="REGEX", default=None,
                         help="gate only benchmarks whose name matches this regex")
+    parser.add_argument("--max-regress", metavar="FACTOR", type=float, default=None,
+                        help="also gate memory counters (allocs_per_op, peak_rss_mb): "
+                             "fail when fresh exceeds baseline * FACTOR")
     args = parser.parse_args()
 
     base = load_benchmarks(args.baseline)
@@ -90,6 +99,19 @@ def main() -> int:
                   f"{ratio:>8.2f}  {'ok' if ok else 'REGRESSION'}")
             if not ok:
                 failures.append(f"{name}: time ratio {ratio:.2f} > {args.threshold}")
+        if args.max_regress is not None:
+            for counter in ("allocs_per_op", "peak_rss_mb"):
+                if counter not in b or counter not in f:
+                    continue
+                # Floor the denominator at 1: a 0-alloc baseline should not
+                # turn a couple of stray allocations into an infinite ratio.
+                ratio = f[counter] / max(b[counter], 1.0)
+                ok = ratio <= args.max_regress
+                label = f"{name}[{counter}]"
+                print(f"{label:<40} {b[counter]:>14.6g} {f[counter]:>14.6g} "
+                      f"{ratio:>8.2f}  {'ok' if ok else 'REGRESSION'}")
+                if not ok:
+                    failures.append(f"{label}: memory ratio {ratio:.2f} > {args.max_regress}")
 
     extra = sorted(set(fresh) - set(base))
     if extra:

@@ -12,8 +12,8 @@ FloodingProtocol::FloodingProtocol(sim::Simulation& sim, net::Network& net,
   agents_.reserve(net_.size());
   for (std::size_t i = 0; i < net_.size(); ++i) {
     const net::NodeId id{static_cast<std::uint32_t>(i)};
-    agents_.push_back(std::make_unique<NodeAgent>(*this, id));
-    net_.set_agent(id, agents_.back().get());
+    agents_.emplace_back(*this, id, arena_);
+    net_.set_agent(id, &agents_.back());
   }
 }
 
@@ -25,12 +25,12 @@ FloodingProtocol::~FloodingProtocol() {
 
 void FloodingProtocol::publish(net::NodeId source, net::DataId item) {
   assert(item.origin == source);
-  agents_[source.v]->seen.insert(item);
+  agents_[source.v].seen.insert(item);
   flood(source, item);
 }
 
 void FloodingProtocol::flood(net::NodeId self, net::DataId item) {
-  auto& agent = *agents_[self.v];
+  auto& agent = agents_[self.v];
   if (!agent.rebroadcast.insert(item).second) return;  // flooded already
   net::Packet data;
   data.type = net::PacketType::kData;
@@ -42,7 +42,7 @@ void FloodingProtocol::flood(net::NodeId self, net::DataId item) {
 
 void FloodingProtocol::handle_receive(net::NodeId self, const net::Packet& p) {
   if (p.type != net::PacketType::kData) return;
-  auto& agent = *agents_[self.v];
+  auto& agent = agents_[self.v];
   if (!agent.seen.insert(p.item).second) return;  // implosion duplicate
   if (sim_.events().enabled()) {
     // Emitted before the delivery record so the span's causal parent exists

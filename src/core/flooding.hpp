@@ -1,11 +1,10 @@
 #pragma once
 
-#include <memory>
-#include <unordered_set>
 #include <vector>
 
 #include "core/interest.hpp"
 #include "core/protocol.hpp"
+#include "core/state_arena.hpp"
 #include "net/network.hpp"
 #include "sim/simulation.hpp"
 
@@ -34,11 +33,15 @@ class FloodingProtocol final : public DisseminationProtocol {
  private:
   class NodeAgent final : public net::Agent {
    public:
-    NodeAgent(FloodingProtocol& proto, net::NodeId self) : proto_(proto), self_(self) {}
+    NodeAgent(FloodingProtocol& proto, net::NodeId self, StateArena& arena)
+        : seen(ArenaSet<net::DataId>::allocator_type{arena}),
+          rebroadcast(ArenaSet<net::DataId>::allocator_type{arena}),
+          proto_(proto),
+          self_(self) {}
     void on_receive(const net::Packet& p) override { proto_.handle_receive(self_, p); }
 
-    std::unordered_set<net::DataId> seen;        ///< items received
-    std::unordered_set<net::DataId> rebroadcast; ///< items already re-flooded
+    ArenaSet<net::DataId> seen;        ///< items received
+    ArenaSet<net::DataId> rebroadcast; ///< items already re-flooded
 
    private:
     FloodingProtocol& proto_;
@@ -52,7 +55,8 @@ class FloodingProtocol final : public DisseminationProtocol {
   net::Network& net_;
   const Interest& interest_;
   ProtocolParams params_;
-  std::vector<std::unique_ptr<NodeAgent>> agents_;
+  StateArena arena_;  ///< backs every agent's sets; must outlive agents_
+  std::vector<NodeAgent> agents_;
 };
 
 }  // namespace spms::core

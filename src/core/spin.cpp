@@ -26,8 +26,8 @@ SpinProtocol::SpinProtocol(sim::Simulation& sim, net::Network& net, const Intere
   agents_.reserve(net_.size());
   for (std::size_t i = 0; i < net_.size(); ++i) {
     const net::NodeId id{static_cast<std::uint32_t>(i)};
-    agents_.push_back(std::make_unique<NodeAgent>(*this, id));
-    net_.set_agent(id, agents_.back().get());
+    agents_.emplace_back(*this, id, arena_);
+    net_.set_agent(id, &agents_.back());
   }
 }
 
@@ -147,7 +147,7 @@ void SpinProtocol::handle_req(net::NodeId self, const net::Packet& p) {
   if (!st.has) return;  // stale request (e.g. we crashed before acquiring it)
   // Rate-limit service per requester: a spurious retry whose DATA is still
   // in our MAC queue must not enqueue a second copy.
-  auto& served = agents_[self.v]->served[p.item];
+  auto& served = agents_[self.v].served[p.item];
   const auto it = served.find(p.requester);
   if (it != served.end() && sim_.now() - it->second < params_.service_guard) return;
   served[p.requester] = sim_.now();
@@ -179,7 +179,7 @@ void SpinProtocol::handle_data(net::NodeId self, const net::Packet& p) {
 void SpinProtocol::handle_down(net::NodeId self) {
   // "Any scheduled packet transfer is cancelled": the network cleared the
   // MAC queue; we additionally stop our timers and forget in-flight REQs.
-  for (auto& [item, st] : agents_[self.v]->items) {
+  for (auto& [item, st] : agents_[self.v].items) {
     sim_.cancel(st.retry);
     st.retry = sim::EventHandle{};
     st.pending = false;
@@ -187,7 +187,7 @@ void SpinProtocol::handle_down(net::NodeId self) {
 }
 
 void SpinProtocol::handle_up(net::NodeId self) {
-  for (auto& [item, st] : agents_[self.v]->items) {
+  for (auto& [item, st] : agents_[self.v].items) {
     if (st.has) {
       // A publish or re-advertisement that fell into the down window never
       // made it out; advertise now so the item is not lost to the network.

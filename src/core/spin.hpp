@@ -1,11 +1,10 @@
 #pragma once
 
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/interest.hpp"
 #include "core/protocol.hpp"
+#include "core/state_arena.hpp"
 #include "net/network.hpp"
 #include "sim/simulation.hpp"
 
@@ -57,16 +56,21 @@ class SpinProtocol final : public DisseminationProtocol {
   /// Thin per-node adapter implementing net::Agent.
   class NodeAgent final : public net::Agent {
    public:
-    NodeAgent(SpinProtocol& proto, net::NodeId self) : proto_(proto), self_(self) {}
+    NodeAgent(SpinProtocol& proto, net::NodeId self, StateArena& arena)
+        : items(ArenaMap<net::DataId, ItemState>::allocator_type{arena}),
+          served(ArenaMap2<net::DataId, net::NodeId, sim::TimePoint>::allocator_type{
+              ArenaAllocator<std::byte>{arena}}),
+          proto_(proto),
+          self_(self) {}
     void on_receive(const net::Packet& p) override { proto_.handle_receive(self_, p); }
     void on_down() override { proto_.handle_down(self_); }
     void on_up() override { proto_.handle_up(self_); }
 
-    std::unordered_map<net::DataId, ItemState> items;
+    ArenaMap<net::DataId, ItemState> items;
     /// Holder-side duplicate suppression: when each (item, requester) pair
     /// was last served.  Retries inside the service-guard window are dropped
     /// (their DATA is still queued here); later ones are served again.
-    std::unordered_map<net::DataId, std::unordered_map<net::NodeId, sim::TimePoint>> served;
+    ArenaMap2<net::DataId, net::NodeId, sim::TimePoint> served;
 
    private:
     SpinProtocol& proto_;
@@ -86,14 +90,15 @@ class SpinProtocol final : public DisseminationProtocol {
   void on_retry_timeout(net::NodeId self, net::DataId item);
 
   [[nodiscard]] ItemState& state(net::NodeId node, net::DataId item) {
-    return agents_[node.v]->items[item];
+    return agents_[node.v].items[item];
   }
 
   sim::Simulation& sim_;
   net::Network& net_;
   const Interest& interest_;
   ProtocolParams params_;
-  std::vector<std::unique_ptr<NodeAgent>> agents_;
+  StateArena arena_;  ///< backs every agent's maps; must outlive agents_
+  std::vector<NodeAgent> agents_;
 };
 
 }  // namespace spms::core

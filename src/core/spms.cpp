@@ -30,11 +30,13 @@ SpmsProtocol::SpmsProtocol(sim::Simulation& sim, net::Network& net,
       interest_(interest),
       params_(params),
       ext_(ext) {
+  // Agents live by value in one reserved vector (stable addresses — the
+  // network keeps raw pointers) and their maps share the protocol arena.
   agents_.reserve(net_.size());
   for (std::size_t i = 0; i < net_.size(); ++i) {
     const net::NodeId id{static_cast<std::uint32_t>(i)};
-    agents_.push_back(std::make_unique<NodeAgent>(*this, id));
-    net_.set_agent(id, agents_.back().get());
+    agents_.emplace_back(*this, id, arena_);
+    net_.set_agent(id, &agents_.back());
   }
 }
 
@@ -178,7 +180,7 @@ void SpmsProtocol::handle_adv(net::NodeId self, const net::Packet& p) {
     prone_changed = true;
   } else if (p.src != st.originators.front() &&
              route_cost(self, p.src) < route_cost(self, st.originators.front())) {
-    std::erase(st.originators, p.src);  // re-promotion must not duplicate
+    st.originators.erase_value(p.src);  // re-promotion must not duplicate
     st.originators.insert(st.originators.begin(), p.src);
     if (st.originators.size() > ext_.num_scones + 1) {
       st.originators.resize(ext_.num_scones + 1);
@@ -389,7 +391,7 @@ void SpmsProtocol::handle_req(net::NodeId self, const net::Packet& p) {
     if (st.has) {
       // Rate-limit service per requester; a retry whose DATA is still queued
       // here must not enqueue another copy.
-      auto& served = agents_[self.v]->served[p.item];
+      auto& served = agents_[self.v].served[p.item];
       const auto it = served.find(p.requester);
       if (it == served.end() || sim_.now() - it->second >= params_.service_guard) {
         served[p.requester] = sim_.now();
@@ -516,7 +518,7 @@ void SpmsProtocol::handle_data(net::NodeId self, const net::Packet& p) {
 void SpmsProtocol::handle_down(net::NodeId self) {
   // The MAC queue is already gone; stop every timer so the crashed node
   // takes no autonomous action until repair.
-  for (auto& [item, st] : agents_[self.v]->items) {
+  for (auto& [item, st] : agents_[self.v].items) {
     sim_.cancel(st.adv_timer);
     sim_.cancel(st.dat_timer);
     st.adv_timer = st.dat_timer = sim::EventHandle{};
@@ -525,7 +527,7 @@ void SpmsProtocol::handle_down(net::NodeId self) {
 }
 
 void SpmsProtocol::handle_up(net::NodeId self) {
-  for (auto& [item, st] : agents_[self.v]->items) {
+  for (auto& [item, st] : agents_[self.v].items) {
     if (st.has) {
       if (!st.advertised) broadcast_adv(self, item);  // ADV lost to the crash
       continue;

@@ -1,11 +1,10 @@
 #pragma once
 
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/interest.hpp"
 #include "core/protocol.hpp"
+#include "core/state_arena.hpp"
 #include "net/network.hpp"
 #include "routing/bellman_ford.hpp"
 #include "sim/simulation.hpp"
@@ -81,8 +80,9 @@ class SpmsProtocol final : public DisseminationProtocol {
     bool advertised = false;  ///< ADV successfully handed to the MAC
 
     /// Known holders, most recently promoted first: [0] is the PRONE, the
-    /// rest are SCONEs (capped at 1 + num_scones entries).
-    std::vector<net::NodeId> originators;
+    /// rest are SCONEs (capped at 1 + num_scones entries; inline storage —
+    /// the default config never heap-allocates per item).
+    InlineVec<net::NodeId, 4> originators;
 
     sim::EventHandle adv_timer;  ///< tau_ADV
     sim::EventHandle dat_timer;  ///< tau_DAT
@@ -103,15 +103,20 @@ class SpmsProtocol final : public DisseminationProtocol {
 
   class NodeAgent final : public net::Agent {
    public:
-    NodeAgent(SpmsProtocol& proto, net::NodeId self) : proto_(proto), self_(self) {}
+    NodeAgent(SpmsProtocol& proto, net::NodeId self, StateArena& arena)
+        : items(ArenaMap<net::DataId, ItemState>::allocator_type{arena}),
+          served(ArenaMap2<net::DataId, net::NodeId, sim::TimePoint>::allocator_type{
+              ArenaAllocator<std::byte>{arena}}),
+          proto_(proto),
+          self_(self) {}
     void on_receive(const net::Packet& p) override { proto_.handle_receive(self_, p); }
     void on_down() override { proto_.handle_down(self_); }
     void on_up() override { proto_.handle_up(self_); }
 
-    std::unordered_map<net::DataId, ItemState> items;
+    ArenaMap<net::DataId, ItemState> items;
     /// Holder-side duplicate suppression: when each (item, requester) pair
     /// was last served; retries inside the service-guard window are dropped.
-    std::unordered_map<net::DataId, std::unordered_map<net::NodeId, sim::TimePoint>> served;
+    ArenaMap2<net::DataId, net::NodeId, sim::TimePoint> served;
 
    private:
     SpmsProtocol& proto_;
@@ -164,7 +169,7 @@ class SpmsProtocol final : public DisseminationProtocol {
   }
 
   [[nodiscard]] ItemState& state(net::NodeId node, net::DataId item) {
-    return agents_[node.v]->items[item];
+    return agents_[node.v].items[item];
   }
 
   sim::Simulation& sim_;
@@ -173,7 +178,8 @@ class SpmsProtocol final : public DisseminationProtocol {
   const Interest& interest_;
   ProtocolParams params_;
   SpmsExtensions ext_;
-  std::vector<std::unique_ptr<NodeAgent>> agents_;
+  StateArena arena_;  ///< backs every agent's maps; must outlive agents_
+  std::vector<NodeAgent> agents_;
   std::uint64_t unroutable_ = 0;
 };
 

@@ -11,6 +11,7 @@
 #include "net/params.hpp"
 #include "routing/bellman_ford.hpp"
 #include "sim/time.hpp"
+#include "stats/percentiles.hpp"
 
 /// \file config.hpp
 /// One struct describes a complete experiment run (Table 1 of the paper
@@ -78,6 +79,14 @@ struct ExperimentConfig {
 
   // --- cluster pattern ---------------------------------------------------------
   double cluster_p_other = 0.05;  ///< interest probability for zone bystanders
+
+  // --- statistics engines -------------------------------------------------------
+  /// Delay-quantile engine.  Exact sample retention is the default (and the
+  /// byte-identity contract for every paper scenario); the scale-* family
+  /// opts into the t-digest sketch so 10^6-node runs hold O(compression)
+  /// memory instead of one double per delivery.  Participates in the config
+  /// key: a sketched run never shares a cache entry with an exact one.
+  stats::PercentileOptions percentiles;
 
   // --- run control ---------------------------------------------------------------
   std::uint64_t seed = 1;

@@ -80,7 +80,7 @@ Scenario::Scenario(const ExperimentConfig& config) : config_(config) {
       break;
   }
 
-  collector_ = std::make_unique<core::Collector>();
+  collector_ = std::make_unique<core::Collector>(config_.percentiles);
   if (config_.faults.any()) {
     faults_ = std::make_unique<faults::FaultController>(*sim_, *net_, config_.faults,
                                                         central_node_);

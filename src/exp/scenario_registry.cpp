@@ -396,6 +396,34 @@ SweepSpec lifetime_smoke() {
   return spec;
 }
 
+// --- scale-* family ----------------------------------------------------------
+//
+// Throughput/memory scaling harness, not a paper figure.  One packet per
+// node toward the central sink on the reference grid, zone radius 10 m
+// (~12 neighbours), so protocol traffic stays zone-local and the event
+// count grows linearly with node count — the regime where events/sec and
+// bytes-per-node are meaningful.  The two big sizes opt into the t-digest
+// delay sketch: exact sample retention is pointless ballast at 10^5+
+// deliveries and the sketch is what those runs exist to exercise
+// (EXPERIMENTS.md "Scaling").
+
+SweepSpec scale_spec(const char* name, std::size_t nodes, bool sketch) {
+  SweepSpec spec;
+  spec.name = name;
+  spec.base = reference_config();
+  spec.base.node_count = nodes;
+  spec.base.zone_radius_m = 10.0;
+  spec.base.pattern = TrafficPattern::kSink;
+  spec.base.traffic.packets_per_node = 1;
+  spec.base.percentiles.sketch = sketch;
+  return spec;
+}
+
+SweepSpec scale_1k() { return scale_spec("scale-1k", 1'000, /*sketch=*/false); }
+SweepSpec scale_10k() { return scale_spec("scale-10k", 10'000, /*sketch=*/false); }
+SweepSpec scale_100k() { return scale_spec("scale-100k", 100'000, /*sketch=*/true); }
+SweepSpec scale_1m() { return scale_spec("scale-1m", 1'000'000, /*sketch=*/true); }
+
 }  // namespace
 
 ExperimentConfig reference_config() {
@@ -527,6 +555,14 @@ const std::vector<ScenarioInfo>& scenario_registry() {
        lifetime_race},
       {"lifetime-smoke", "16-node energy-death quick check (CI smoke; not a paper figure)",
        "energy-driven deaths fire, cache, and resume deterministically", lifetime_smoke},
+      {"scale-1k", "1k-node sink-pattern scaling run (exact quantiles)",
+       "throughput harness, not a paper figure; events grow linearly", scale_1k},
+      {"scale-10k", "10k-node sink-pattern scaling run (exact quantiles; CI scale-smoke)",
+       "throughput harness, not a paper figure; events grow linearly", scale_10k},
+      {"scale-100k", "100k-node sink-pattern scaling run (t-digest sketch)",
+       "memory stays O(compression) per run, not O(deliveries)", scale_100k},
+      {"scale-1m", "10^6-node sink-pattern scaling run (t-digest sketch)",
+       "the million-node pass: SoA + arena hot state at full scale", scale_1m},
   };
   return registry;
 }

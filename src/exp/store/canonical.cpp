@@ -319,6 +319,8 @@ std::string canonical_config_json(const ExperimentConfig& c) {
   w.d("mobility.move_fraction", c.mobility_params.move_fraction);
   w.d("mobility.field_side_m", c.mobility_params.field_side_m);
   w.d("cluster_p_other", c.cluster_p_other);
+  w.b("percentiles.sketch", c.percentiles.sketch);
+  w.d("percentiles.compression", c.percentiles.compression);
   w.u64("seed", c.seed);
   w.i64("activity_horizon_ns", c.activity_horizon.count_nanos());
   w.u64("max_events", c.max_events);

@@ -37,7 +37,10 @@ namespace spms::exp::store {
 /// Telemetry (TelemetryOptions, RunResult::series) deliberately left no
 /// mark here: it is not part of the config key and the series is never
 /// serialized, so a result is the same bytes with telemetry on or off.
-inline constexpr int kSchemaVersion = 4;
+/// v5: configs grew the percentiles.* block (quantile-engine selection —
+/// exact vs. t-digest sketch; sketched quantiles are estimates, so the two
+/// engines must never share a cache entry).
+inline constexpr int kSchemaVersion = 5;
 
 /// Stable field-ordered JSON object describing `config` completely.
 [[nodiscard]] std::string canonical_config_json(const ExperimentConfig& config);

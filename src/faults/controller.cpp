@@ -11,7 +11,7 @@ FaultController::FaultController(sim::Simulation& sim, net::Network& net,
       net_(net),
       observer_(net.size()),
       down_count_(net.size(), 0),
-      permanent_(net.size(), false) {
+      permanent_(net.size(), 0) {
   net_.set_on_state_change([this](net::NodeId id, bool up) {
     observer_.on_state_change(id, up, sim_.now());
     if (sim_.events().enabled()) {
@@ -78,12 +78,12 @@ void FaultController::fail(net::NodeId id) {
 
 void FaultController::repair(net::NodeId id) {
   if (down_count_[id.v] == 0) return;  // unpaired repair: defensive no-op
-  if (--down_count_[id.v] == 0 && !permanent_[id.v]) net_.set_up(id, true);
+  if (--down_count_[id.v] == 0 && permanent_[id.v] == 0) net_.set_up(id, true);
 }
 
 void FaultController::kill(net::NodeId id) {
-  if (permanent_[id.v]) return;
-  permanent_[id.v] = true;
+  if (permanent_[id.v] != 0) return;
+  permanent_[id.v] = 1;
   observer_.on_permanent_death(id, sim_.now());
   if (sim_.events().enabled()) {
     sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kFaultTransition,

@@ -71,15 +71,17 @@ class FaultController {
   /// Permanent death: the node goes (or stays) down and no repair — from
   /// any model — ever brings it back.
   void kill(net::NodeId id);
-  [[nodiscard]] bool permanently_dead(net::NodeId id) const { return permanent_[id.v]; }
+  [[nodiscard]] bool permanently_dead(net::NodeId id) const { return permanent_[id.v] != 0; }
 
  private:
   sim::Simulation& sim_;
   net::Network& net_;
   FaultObserver observer_;
   std::vector<std::unique_ptr<FaultModel>> models_;
+  // Dense per-node fault state (index == NodeId.v); permanent_ is bytes, not
+  // vector<bool>, so the hot liveness checks stay branch-light loads.
   std::vector<std::uint32_t> down_count_;
-  std::vector<bool> permanent_;
+  std::vector<std::uint8_t> permanent_;
 };
 
 }  // namespace spms::faults

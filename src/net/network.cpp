@@ -40,29 +40,37 @@ Network::Network(sim::Simulation& sim, RadioTable radio, MacParams mac, EnergyMo
   if (battery_.heterogeneity < 0.0 || battery_.heterogeneity >= 1.0) {
     throw std::invalid_argument{"Network: battery heterogeneity must be in [0, 1)"};
   }
-  nodes_.resize(positions.size());
+  const std::size_t n = positions.size();
+  pos_ = std::move(positions);
+  up_.assign(n, 1);
+  channel_busy_until_.assign(n, sim::TimePoint::zero() - sim::Duration::seconds(3600));
+  battery_state_.resize(n);
+  battery_bucket_.assign(n, 0);
+  agent_.assign(n, nullptr);
+  mac_queue_.resize(n);
+  mac_busy_.assign(n, 0);
+  mac_event_.resize(n);
   // The grid's cell edge is the zone radius: the dominant disc query (a
   // zone) then overlaps at most a 3x3 cell block.  Below kGridMinNodes the
-  // linear scan over the contiguous node array is cheaper than the grid's
-  // cell-block hash lookups, so tiny deployments keep the brute-force path
-  // (the grid stays coherent either way — the cutover is query-side only
-  // and both paths produce identical results in identical order).
-  use_grid_ = positions.size() >= kGridMinNodes;
-  grid_.reset(zone_radius_m, positions.size());
+  // linear scan over the contiguous position array is cheaper than the
+  // grid's cell-block hash lookups, so tiny deployments keep the
+  // brute-force path (the grid stays coherent either way — the cutover is
+  // query-side only and both paths produce identical results in identical
+  // order).
+  use_grid_ = n >= kGridMinNodes;
+  grid_.reset(zone_radius_m, n);
   // Heterogeneous charges come from a dedicated sub-stream in ascending node
   // id, so the draw sequence is a pure function of (seed, capacity, h).
   auto init_rng = sim_.rng().fork(kBatteryInitStream);
-  for (std::size_t i = 0; i < positions.size(); ++i) {
-    nodes_[i].id = NodeId{static_cast<std::uint32_t>(i)};
-    nodes_[i].pos = positions[i];
-    grid_.insert(static_cast<std::uint32_t>(i), positions[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    grid_.insert(static_cast<std::uint32_t>(i), pos_[i]);
     if (battery_.finite) {
       double charge = battery_.capacity_uj;
       if (battery_.heterogeneity > 0.0) {
         charge = init_rng.uniform(battery_.capacity_uj * (1.0 - battery_.heterogeneity),
                                   battery_.capacity_uj * (1.0 + battery_.heterogeneity));
       }
-      nodes_[i].battery.init_finite(charge);
+      battery_state_[i].init_finite(charge);
     }
   }
 }
@@ -73,22 +81,21 @@ void Network::neighbors_within(NodeId center, double radius_m, bool include_down
   const Point c = position(center);
   const double r2 = radius_m * radius_m;
   if (!use_grid_) {
-    // Tiny deployment: a linear pass over the contiguous node array beats
-    // the grid's hash lookups, and it yields ascending ids for free.
-    for (const Node& n : nodes_) {
-      if (n.id == center) continue;
-      if (!include_down && !n.up) continue;
-      if (distance_sq(n.pos, c) <= r2) out.push_back(n.id);
+    // Tiny deployment: a linear pass over the contiguous position array
+    // beats the grid's hash lookups, and it yields ascending ids for free.
+    for (std::uint32_t v = 0; v < pos_.size(); ++v) {
+      if (v == center.v) continue;
+      if (!include_down && up_[v] == 0) continue;
+      if (distance_sq(pos_[v], c) <= r2) out.push_back(NodeId{v});
     }
     return;
   }
   grid_.visit_disc(c, radius_m, [&](std::uint32_t v) {
-    const Node& n = nodes_[v];
-    if (n.id == center) return;
-    if (!include_down && !n.up) return;
+    if (v == center.v) return;
+    if (!include_down && up_[v] == 0) return;
     // The exact inclusion test matches the historical brute-force scan
     // bit-for-bit; the grid only pre-filters candidates.
-    if (distance_sq(n.pos, c) <= r2) out.push_back(n.id);
+    if (distance_sq(pos_[v], c) <= r2) out.push_back(NodeId{v});
   });
   // Cell visitation order is spatial, not by id: restore the ascending-id
   // contract every consumer (and every RNG draw sequence) depends on.
@@ -100,16 +107,15 @@ std::size_t Network::contention_count(NodeId center, double radius_m) const {
   const double r2 = radius_m * radius_m;
   std::size_t count = 0;
   if (!use_grid_) {
-    for (const Node& n : nodes_) {
-      if (n.id == center || !n.up) continue;
-      if (distance_sq(n.pos, c) <= r2) ++count;
+    for (std::uint32_t v = 0; v < pos_.size(); ++v) {
+      if (v == center.v || up_[v] == 0) continue;
+      if (distance_sq(pos_[v], c) <= r2) ++count;
     }
     return count;
   }
   grid_.visit_disc(c, radius_m, [&](std::uint32_t v) {
-    const Node& n = nodes_[v];
-    if (n.id == center || !n.up) return;
-    if (distance_sq(n.pos, c) <= r2) ++count;
+    if (v == center.v || up_[v] == 0) return;
+    if (distance_sq(pos_[v], c) <= r2) ++count;
   });
   return count;
 }
@@ -127,8 +133,9 @@ double Network::rx_energy_uj(std::size_t bytes) const {
 }
 
 bool Network::send(NodeId from, Packet packet, double coverage_m, EnergyUse use) {
-  Node& n = nodes_.at(from.v);
-  if (n.battery.depleted()) {
+  const std::uint32_t v = from.v;
+  if (v >= pos_.size()) throw std::out_of_range{"Network::send: bad node id"};
+  if (battery_state_[v].depleted()) {
     // A drained node cannot key its radio, even before the fault layer has
     // processed the (zero-delay) depletion notification.
     ++counters_.dropped_battery_dead;
@@ -137,7 +144,7 @@ bool Network::send(NodeId from, Packet packet, double coverage_m, EnergyUse use)
     }
     return false;
   }
-  if (!n.up) {
+  if (up_[v] == 0) {
     ++counters_.dropped_sender_down;
     if (sim_.events().enabled()) {
       emit_drop(sim_, obs::DropCause::kSenderDown, from, packet.dst, packet.item);
@@ -160,36 +167,35 @@ bool Network::send(NodeId from, Packet packet, double coverage_m, EnergyUse use)
   packet.src = from;
   OutgoingFrame frame{std::move(packet), *lvl, coverage_m, use};
   if (mac_.infinite_parallelism) {
-    send_unqueued(n, std::move(frame));
+    send_unqueued(v, std::move(frame));
     return true;
   }
-  n.mac_queue.push_back(std::move(frame));
-  if (!n.mac_busy) mac_start_access(n);
+  mac_queue_[v].push_back(std::move(frame));
+  if (mac_busy_[v] == 0) mac_start_access(v);
   return true;
 }
 
-sim::Duration Network::access_delay(const Node& n, const OutgoingFrame& f) {
+sim::Duration Network::access_delay(std::uint32_t v, const OutgoingFrame& f) {
   sim::Duration wait = draw_backoff();
   if (mac_.contention_g_ms > 0.0) {
     // Analysis-style explicit contention term (Section 4.1's T_csma = G n^2).
-    const std::size_t contenders = contention_count(n.id, f.coverage_m);
+    const std::size_t contenders = contention_count(NodeId{v}, f.coverage_m);
     wait += sim::Duration::ms(mac_.contention_g_ms * static_cast<double>(contenders) *
                               static_cast<double>(contenders));
   }
   return wait;
 }
 
-void Network::send_unqueued(Node& n, OutgoingFrame frame) {
+void Network::send_unqueued(std::uint32_t v, OutgoingFrame frame) {
   // Paper-style MAC: the frame neither waits for the node's earlier frames
   // nor occupies the channel; it simply takes access-delay + airtime.  The
   // frame rides a pooled context so both events capture three words.
-  const NodeId id = n.id;
-  const sim::Duration delay = access_delay(n, frame);
+  const NodeId id{v};
+  const sim::Duration delay = access_delay(v, frame);
   FrameCtx* ctx = acquire_frame_ctx();
   ctx->frame = std::move(frame);
   sim_.after(delay, [this, id, ctx] {
-    Node& sender = nodes_[id.v];
-    if (sender.battery.depleted()) {
+    if (battery_state_[id.v].depleted()) {
       ++counters_.dropped_battery_dead;  // drained during the backoff
       if (sim_.events().enabled()) {
         emit_drop(sim_, obs::DropCause::kBatteryDead, id, ctx->frame.packet.dst,
@@ -198,7 +204,7 @@ void Network::send_unqueued(Node& n, OutgoingFrame frame) {
       release_frame_ctx(ctx);
       return;
     }
-    if (!sender.up) {
+    if (up_[id.v] == 0) {
       ++counters_.dropped_sender_down;  // crashed during the backoff
       if (sim_.events().enabled()) {
         emit_drop(sim_, obs::DropCause::kSenderDown, id, ctx->frame.packet.dst,
@@ -208,10 +214,10 @@ void Network::send_unqueued(Node& n, OutgoingFrame frame) {
       return;
     }
     const OutgoingFrame& f = ctx->frame;
-    charge_node_tx(sender, tx_energy_uj(f.packet.size_bytes, f.level), f.use);
+    charge_node_tx(id.v, tx_energy_uj(f.packet.size_bytes, f.level), f.use);
     count_tx(f.packet);
     sim_.after(airtime(f.packet.size_bytes), [this, id, ctx] {
-      deliver_frame(nodes_[id.v], ctx->frame);
+      deliver_frame(id.v, ctx->frame);
       release_frame_ctx(ctx);
     });
   });
@@ -227,70 +233,67 @@ sim::Duration Network::draw_backoff() {
   return mac_.slot_time * sim_.rng().uniform_int(0, mac_.num_slots - 1);
 }
 
-void Network::mac_start_access(Node& n) {
-  assert(!n.mac_queue.empty());
-  n.mac_busy = true;
-  NodeId id = n.id;
-  n.mac_event =
-      sim_.after(access_delay(n, n.mac_queue.front()), [this, id] { mac_try_send(nodes_[id.v]); });
+void Network::mac_start_access(std::uint32_t v) {
+  assert(!mac_queue_[v].empty());
+  mac_busy_[v] = 1;
+  mac_event_[v] = sim_.after(access_delay(v, mac_queue_[v].front()),
+                             [this, v] { mac_try_send(v); });
 }
 
-void Network::mac_try_send(Node& n) {
-  assert(n.mac_busy && !n.mac_queue.empty());
-  if (mac_.carrier_sense && sim_.now() < n.channel_busy_until) {
+void Network::mac_try_send(std::uint32_t v) {
+  assert(mac_busy_[v] != 0 && !mac_queue_[v].empty());
+  if (mac_.carrier_sense && sim_.now() < channel_busy_until_[v]) {
     // Channel busy: defer to the end of the busy period plus a fresh backoff
     // (CSMA/CA without collision modelling; see DESIGN.md).
-    const auto retry_at = n.channel_busy_until + draw_backoff();
-    NodeId id = n.id;
-    n.mac_event = sim_.at(retry_at, [this, id] { mac_try_send(nodes_[id.v]); });
+    const auto retry_at = channel_busy_until_[v] + draw_backoff();
+    mac_event_[v] = sim_.at(retry_at, [this, v] { mac_try_send(v); });
     return;
   }
-  mac_begin_tx(n);
+  mac_begin_tx(v);
 }
 
-void Network::mac_begin_tx(Node& n) {
-  assert(n.mac_busy && !n.mac_queue.empty());
-  if (n.battery.depleted()) {
+void Network::mac_begin_tx(std::uint32_t v) {
+  assert(mac_busy_[v] != 0 && !mac_queue_[v].empty());
+  if (battery_state_[v].depleted()) {
     // Drained while waiting for the channel: the queue dies with the radio.
-    counters_.dropped_battery_dead += n.mac_queue.size();
+    counters_.dropped_battery_dead += mac_queue_[v].size();
     if (sim_.events().enabled()) {
       // One aggregate record; value carries how many queued frames died.
-      emit_drop(sim_, obs::DropCause::kBatteryDead, n.id, NodeId{}, DataId{},
-                static_cast<double>(n.mac_queue.size()));
+      emit_drop(sim_, obs::DropCause::kBatteryDead, NodeId{v}, NodeId{}, DataId{},
+                static_cast<double>(mac_queue_[v].size()));
     }
-    n.mac_queue.clear();
-    n.mac_busy = false;
-    n.mac_event = sim::EventHandle{};
+    mac_queue_[v].clear();
+    mac_busy_[v] = 0;
+    mac_event_[v] = sim::EventHandle{};
     return;
   }
-  const OutgoingFrame& f = n.mac_queue.front();
-  charge_node_tx(n, tx_energy_uj(f.packet.size_bytes, f.level), f.use);
+  const OutgoingFrame& f = mac_queue_[v].front();
+  charge_node_tx(v, tx_energy_uj(f.packet.size_bytes, f.level), f.use);
   count_tx(f.packet);
   const auto end = sim_.now() + airtime(f.packet.size_bytes);
   if (mac_.carrier_sense) {
     // Occupy the channel across the coverage disc (the transmitter included).
     // Visitation order is irrelevant: stamping a max is commutative.
-    if (end > n.channel_busy_until) n.channel_busy_until = end;
+    if (end > channel_busy_until_[v]) channel_busy_until_[v] = end;
+    const Point sender_pos = pos_[v];
     const double r2 = f.coverage_m * f.coverage_m;
     if (!use_grid_) {
-      for (Node& other : nodes_) {
-        if (other.id == n.id) continue;
-        if (distance_sq(other.pos, n.pos) <= r2 && end > other.channel_busy_until) {
-          other.channel_busy_until = end;
+      for (std::uint32_t o = 0; o < pos_.size(); ++o) {
+        if (o == v) continue;
+        if (distance_sq(pos_[o], sender_pos) <= r2 && end > channel_busy_until_[o]) {
+          channel_busy_until_[o] = end;
         }
       }
     } else {
-      grid_.visit_disc(n.pos, f.coverage_m, [&](std::uint32_t v) {
-        Node& other = nodes_[v];
-        if (other.id == n.id) return;
-        if (distance_sq(other.pos, n.pos) <= r2 && end > other.channel_busy_until) {
-          other.channel_busy_until = end;
+      grid_.visit_disc(sender_pos, f.coverage_m, [&](std::uint32_t o) {
+        if (o == v) return;
+        if (distance_sq(pos_[o], sender_pos) <= r2 && end > channel_busy_until_[o]) {
+          channel_busy_until_[o] = end;
         }
       });
     }
   }
-  NodeId id = n.id;
-  n.mac_event = sim_.at(end, [this, id] { mac_complete_tx(nodes_[id.v]); });
+  mac_event_[v] = sim_.at(end, [this, v] { mac_complete_tx(v); });
 }
 
 Network::DeliveryCtx* Network::acquire_delivery_ctx() {
@@ -320,40 +323,41 @@ Network::FrameCtx* Network::acquire_frame_ctx() {
 
 void Network::release_frame_ctx(FrameCtx* ctx) { frame_free_.push_back(ctx); }
 
-void Network::deliver_frame(const Node& sender, const OutgoingFrame& frame) {
+void Network::deliver_frame(std::uint32_t sender, const OutgoingFrame& frame) {
   // Every alive node inside the engineered disc hears the frame.  The
   // hearer list lives in a per-Network scratch buffer (delivery never
   // nests) and the receiver list comes from the vector pool, so a settled
   // run delivers without allocating.
-  neighbors_within(sender.id, frame.coverage_m, /*include_down=*/false, scratch_hearers_);
+  const NodeId sender_id{sender};
+  neighbors_within(sender_id, frame.coverage_m, /*include_down=*/false, scratch_hearers_);
   const Packet& p = frame.packet;
   DeliveryCtx* ctx = acquire_delivery_ctx();
   std::vector<NodeId>& processors = ctx->processors;
   processors.reserve(scratch_hearers_.size());
   for (NodeId h : scratch_hearers_) {
-    if (nodes_[h.v].battery.depleted()) {
+    if (battery_state_[h.v].depleted()) {
       // A drained receiver cannot decode: no rx charge, no processing, and
       // no link-fault draw (keeping the fault stream's draw sequence a
       // function of the *live* hearer set).
       ++counters_.dropped_battery_dead;
       if (sim_.events().enabled()) {
-        emit_drop(sim_, obs::DropCause::kBatteryDead, h, sender.id, p.item);
+        emit_drop(sim_, obs::DropCause::kBatteryDead, h, sender_id, p.item);
       }
       continue;
     }
-    if (link_fault_ && link_fault_(sender.id, h)) {
+    if (link_fault_ && link_fault_(sender_id, h)) {
       // Faded below the decode threshold for this receiver: no rx charge,
       // no processing (ascending-id hearer order keeps the draws
       // deterministic).
       ++counters_.dropped_link_fault;
       if (sim_.events().enabled()) {
-        emit_drop(sim_, obs::DropCause::kLinkFault, h, sender.id, p.item);
+        emit_drop(sim_, obs::DropCause::kLinkFault, h, sender_id, p.item);
       }
       continue;
     }
     const bool addressed = p.is_broadcast() || p.dst == h;
     if (addressed || energy_.charge_overhearing) {
-      charge_node_rx(nodes_[h.v], rx_energy_uj(p.size_bytes), frame.use);
+      charge_node_rx(h.v, rx_energy_uj(p.size_bytes), frame.use);
     }
     if (addressed) processors.push_back(h);
   }
@@ -368,58 +372,58 @@ void Network::deliver_frame(const Node& sender, const OutgoingFrame& frame) {
   ctx->pkt = frame.packet;
   sim_.after(mac_.t_proc, [this, ctx] {
     for (NodeId h : ctx->processors) {
-      Node& r = nodes_[h.v];
-      if (r.battery.depleted()) {
+      if (battery_state_[h.v].depleted()) {
         ++counters_.dropped_battery_dead;  // drained between rx and t_proc
         if (sim_.events().enabled()) {
           emit_drop(sim_, obs::DropCause::kBatteryDead, h, ctx->pkt.src, ctx->pkt.item);
         }
         continue;
       }
-      if (!r.up) {
+      if (up_[h.v] == 0) {
         ++counters_.dropped_receiver_down;
         if (sim_.events().enabled()) {
           emit_drop(sim_, obs::DropCause::kReceiverDown, h, ctx->pkt.src, ctx->pkt.item);
         }
         continue;
       }
-      if (r.agent != nullptr) {
+      if (agent_[h.v] != nullptr) {
         ++counters_.deliveries;
-        r.agent->on_receive(ctx->pkt);
+        agent_[h.v]->on_receive(ctx->pkt);
       }
     }
     release_delivery_ctx(ctx);
   });
 }
 
-void Network::mac_complete_tx(Node& n) {
-  assert(n.mac_busy && !n.mac_queue.empty());
-  OutgoingFrame frame = n.mac_queue.pop_front();
+void Network::mac_complete_tx(std::uint32_t v) {
+  assert(mac_busy_[v] != 0 && !mac_queue_[v].empty());
+  OutgoingFrame frame = mac_queue_[v].pop_front();
 
-  deliver_frame(n, frame);
+  deliver_frame(v, frame);
 
   // Advance the queue.
-  if (!n.mac_queue.empty()) {
-    mac_start_access(n);
+  if (!mac_queue_[v].empty()) {
+    mac_start_access(v);
   } else {
-    n.mac_busy = false;
-    n.mac_event = sim::EventHandle{};
+    mac_busy_[v] = 0;
+    mac_event_[v] = sim::EventHandle{};
   }
 }
 
 void Network::set_up(NodeId id, bool up) {
-  Node& n = nodes_.at(id.v);
-  if (n.up == up) return;
-  n.up = up;
+  const std::uint32_t v = id.v;
+  if (v >= pos_.size()) throw std::out_of_range{"Network::set_up: bad node id"};
+  if ((up_[v] != 0) == up) return;
+  up_[v] = up ? 1 : 0;
   if (!up) {
     // Crash: lose the MAC queue and whatever phase was in progress.
-    sim_.cancel(n.mac_event);
-    n.mac_event = sim::EventHandle{};
-    n.mac_queue.clear();
-    n.mac_busy = false;
-    if (n.agent != nullptr) n.agent->on_down();
+    sim_.cancel(mac_event_[v]);
+    mac_event_[v] = sim::EventHandle{};
+    mac_queue_[v].clear();
+    mac_busy_[v] = 0;
+    if (agent_[v] != nullptr) agent_[v]->on_down();
   } else {
-    if (n.agent != nullptr) n.agent->on_up();
+    if (agent_[v] != nullptr) agent_[v]->on_up();
   }
   if (on_state_change_) on_state_change_(id, up);
 }
@@ -427,41 +431,45 @@ void Network::set_up(NodeId id, bool up) {
 void Network::charge_tx(NodeId id, std::size_t bytes, double coverage_m, EnergyUse use) {
   const auto lvl = radio_.cheapest_level_for(coverage_m);
   if (!lvl) return;
-  charge_node_tx(nodes_.at(id.v), tx_energy_uj(bytes, *lvl), use);
+  charge_node_tx(id.v, tx_energy_uj(bytes, *lvl), use);
   counters_.tx_bytes += bytes;
   ++counters_.tx_route;
 }
 
 void Network::charge_rx(NodeId id, std::size_t bytes, EnergyUse use) {
-  charge_node_rx(nodes_.at(id.v), rx_energy_uj(bytes), use);
+  charge_node_rx(id.v, rx_energy_uj(bytes), use);
 }
 
-void Network::charge_node_tx(Node& n, double uj, EnergyUse use) {
-  const bool was = n.battery.depleted();
-  n.battery.add_tx(uj, use);
-  if (!was && n.battery.depleted()) dispatch_depletion(n);
-  if (battery_.finite && sim_.events().enabled()) note_battery_level(n);
+void Network::charge_node_tx(std::uint32_t v, double uj, EnergyUse use) {
+  Battery& b = battery_state_.at(v);
+  const bool was = b.depleted();
+  b.add_tx(uj, use);
+  if (!was && b.depleted()) dispatch_depletion(v);
+  if (battery_.finite && sim_.events().enabled()) note_battery_level(v);
 }
 
-void Network::charge_node_rx(Node& n, double uj, EnergyUse use) {
-  const bool was = n.battery.depleted();
-  n.battery.add_rx(uj, use);
-  if (!was && n.battery.depleted()) dispatch_depletion(n);
-  if (battery_.finite && sim_.events().enabled()) note_battery_level(n);
+void Network::charge_node_rx(std::uint32_t v, double uj, EnergyUse use) {
+  Battery& b = battery_state_.at(v);
+  const bool was = b.depleted();
+  b.add_rx(uj, use);
+  if (!was && b.depleted()) dispatch_depletion(v);
+  if (battery_.finite && sim_.events().enabled()) note_battery_level(v);
 }
 
-void Network::charge_node_idle(Node& n, double uj) {
-  const bool was = n.battery.depleted();
-  n.battery.add_idle(uj);
-  if (!was && n.battery.depleted()) dispatch_depletion(n);
-  if (battery_.finite && sim_.events().enabled()) note_battery_level(n);
+void Network::charge_node_idle(std::uint32_t v, double uj) {
+  Battery& b = battery_state_[v];
+  const bool was = b.depleted();
+  b.add_idle(uj);
+  if (!was && b.depleted()) dispatch_depletion(v);
+  if (battery_.finite && sim_.events().enabled()) note_battery_level(v);
 }
 
-void Network::note_battery_level(Node& n) {
-  const double init = n.battery.initial_charge_uj();
-  const double frac = init > 0.0 ? n.battery.remaining_uj() / init : 0.0;
+void Network::note_battery_level(std::uint32_t v) {
+  const Battery& b = battery_state_[v];
+  const double init = b.initial_charge_uj();
+  const double frac = init > 0.0 ? b.remaining_uj() / init : 0.0;
   std::uint8_t bucket;
-  if (n.battery.depleted()) {
+  if (b.depleted()) {
     bucket = static_cast<std::uint8_t>(obs::BatteryBucket::kDepleted);
   } else if (frac < 0.10) {
     bucket = static_cast<std::uint8_t>(obs::BatteryBucket::kBelow10);
@@ -474,25 +482,25 @@ void Network::note_battery_level(Node& n) {
   }
   // One record per bucket entered, even when a single charge crosses
   // several (the per-crossing semantics consumers rely on).
-  while (n.battery_bucket < bucket) {
-    ++n.battery_bucket;
+  while (battery_bucket_[v] < bucket) {
+    ++battery_bucket_[v];
     sim_.events().emit({.at = sim_.now(), .kind = obs::TraceKind::kBatteryThreshold,
-                        .cause = n.battery_bucket, .node = n.id, .value = frac});
+                        .cause = battery_bucket_[v], .node = NodeId{v}, .value = frac});
   }
 }
 
 std::size_t Network::max_mac_queue_depth() const {
   std::size_t depth = 0;
-  for (const Node& n : nodes_) depth = std::max(depth, n.mac_queue.size());
+  for (const FrameQueue& q : mac_queue_) depth = std::max(depth, q.size());
   return depth;
 }
 
-void Network::dispatch_depletion(Node& n) {
+void Network::dispatch_depletion(std::uint32_t v) {
   // Zero-delay deferral: the charge sites sit inside MAC/delivery loops, and
   // the fault layer's kill path (Network::set_up) tears down exactly the
   // structures those loops are iterating.  The battery's depleted flag
   // already gates all traffic in the meantime.
-  const NodeId id = n.id;
+  const NodeId id{v};
   sim_.after(sim::Duration::zero(), [this, id] {
     if (on_depleted_) on_depleted_(id);
   });
@@ -511,8 +519,8 @@ void Network::idle_drain_tick() {
   const double uj = battery_.idle_drain_mw * battery_.idle_tick.to_ms();
   // Ascending node id; down-but-not-depleted nodes leak too (crashed
   // hardware still holds its charge budget against the clock).
-  for (auto& n : nodes_) {
-    if (!n.battery.depleted()) charge_node_idle(n, uj);
+  for (std::uint32_t v = 0; v < battery_state_.size(); ++v) {
+    if (!battery_state_[v].depleted()) charge_node_idle(v, uj);
   }
   const auto next = sim_.now() + battery_.idle_tick;
   if (next > idle_drain_until_) return;  // horizon reached: let the run drain
@@ -521,8 +529,8 @@ void Network::idle_drain_tick() {
 
 std::size_t Network::depleted_count() const {
   std::size_t n = 0;
-  for (const auto& node : nodes_) {
-    if (node.battery.depleted()) ++n;
+  for (const Battery& b : battery_state_) {
+    if (b.depleted()) ++n;
   }
   return n;
 }
@@ -531,12 +539,12 @@ BatterySummary Network::battery_summary() const {
   BatterySummary s;
   if (!battery_.finite) return s;
   std::vector<double> residuals;
-  residuals.reserve(nodes_.size());
-  for (const auto& n : nodes_) {
-    if (n.battery.depleted()) ++s.depleted_nodes;
-    s.initial_total_uj += n.battery.initial_charge_uj();
-    s.spent_total_uj += n.battery.spent_uj();
-    residuals.push_back(n.battery.remaining_uj());
+  residuals.reserve(battery_state_.size());
+  for (const Battery& b : battery_state_) {
+    if (b.depleted()) ++s.depleted_nodes;
+    s.initial_total_uj += b.initial_charge_uj();
+    s.spent_total_uj += b.spent_uj();
+    residuals.push_back(b.remaining_uj());
   }
   std::sort(residuals.begin(), residuals.end());
   const auto count = static_cast<double>(residuals.size());
@@ -559,12 +567,12 @@ BatterySummary Network::battery_summary() const {
 
 EnergyBreakdown Network::energy() const {
   EnergyBreakdown total;
-  for (const auto& n : nodes_) {
-    total.protocol_tx_uj += n.battery.meter().protocol_tx_uj();
-    total.protocol_rx_uj += n.battery.meter().protocol_rx_uj();
-    total.routing_tx_uj += n.battery.meter().routing_tx_uj();
-    total.routing_rx_uj += n.battery.meter().routing_rx_uj();
-    total.idle_uj += n.battery.idle_uj();
+  for (const Battery& b : battery_state_) {
+    total.protocol_tx_uj += b.meter().protocol_tx_uj();
+    total.protocol_rx_uj += b.meter().protocol_rx_uj();
+    total.routing_tx_uj += b.meter().routing_tx_uj();
+    total.routing_rx_uj += b.meter().routing_rx_uj();
+    total.idle_uj += b.idle_uj();
   }
   return total;
 }

@@ -5,10 +5,16 @@
 #include <memory>
 #include <vector>
 
+#include "net/energy.hpp"
+#include "net/frame_queue.hpp"
+#include "net/geometry.hpp"
+#include "net/ids.hpp"
 #include "net/node.hpp"
+#include "net/packet.hpp"
 #include "net/params.hpp"
 #include "net/radio.hpp"
 #include "net/spatial_grid.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/simulation.hpp"
 
 /// \file network.hpp
@@ -25,12 +31,16 @@
 ///  * A down node transmits nothing, hears nothing, and loses its MAC queue
 ///    the moment it fails ("any scheduled packet transfer is cancelled").
 ///
-/// Hot-path note: every disc query (neighbor lookup, contention count,
+/// Hot-path notes: every disc query (neighbor lookup, contention count,
 /// carrier-sense occupation, frame delivery) runs over a SpatialGrid keyed
 /// on the zone radius instead of scanning all nodes; set_position() keeps
-/// the grid coherent under mobility.  Results are exactly those of the
-/// brute-force scan — same inclusive d^2 <= r^2 test, ascending-id order —
-/// so RNG draw sequences and run results stay byte-identical.
+/// the grid coherent under mobility.  Per-node state is structure-of-arrays:
+/// the disc scans touch only the dense position/liveness/busy-until arrays
+/// (16/1/8 bytes per node) instead of one padded struct per node, so a
+/// million-node field streams through cache.  Results are exactly those of
+/// the historical per-object layout — same inclusive d^2 <= r^2 test,
+/// ascending-id order — so RNG draw sequences and run results stay
+/// byte-identical.
 
 namespace spms::net {
 
@@ -70,10 +80,9 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   // --- queries ---------------------------------------------------------------
-  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
-  [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id.v); }
-  [[nodiscard]] Point position(NodeId id) const { return node(id).pos; }
-  [[nodiscard]] bool is_up(NodeId id) const { return node(id).up; }
+  [[nodiscard]] std::size_t size() const { return pos_.size(); }
+  [[nodiscard]] Point position(NodeId id) const { return pos_.at(id.v); }
+  [[nodiscard]] bool is_up(NodeId id) const { return up_.at(id.v) != 0; }
   [[nodiscard]] double zone_radius() const { return zone_radius_m_; }
   [[nodiscard]] const RadioTable& radio() const { return radio_; }
   [[nodiscard]] const MacParams& mac_params() const { return mac_; }
@@ -110,19 +119,19 @@ class Network {
   /// timeout on a channel that has been quiet for a full window indicates
   /// loss, one during audible traffic merely indicates queueing.
   [[nodiscard]] bool channel_quiet_for(NodeId id, sim::Duration window) const {
-    return sim_.now() - node(id).channel_busy_until >= window;
+    return sim_.now() - channel_busy_until_.at(id.v) >= window;
   }
 
   /// Earliest instant at which channel_quiet_for(id, window) could become
   /// true given what has been heard so far; deferring timers sleep until
   /// this instant instead of polling.
   [[nodiscard]] sim::TimePoint channel_quiet_at(NodeId id, sim::Duration window) const {
-    return node(id).channel_busy_until + window;
+    return channel_busy_until_.at(id.v) + window;
   }
 
   // --- wiring ----------------------------------------------------------------
   /// Installs the protocol agent for a node (non-owning).
-  void set_agent(NodeId id, Agent* agent) { nodes_.at(id.v).agent = agent; }
+  void set_agent(NodeId id, Agent* agent) { agent_.at(id.v) = agent; }
 
   /// Invoked after every actual up/down transition (set_up no-ops excluded),
   /// after the agent hooks ran.  The fault observer hangs here; pass nullptr
@@ -162,9 +171,9 @@ class Network {
   /// Teleports a node (mobility model), keeping the spatial index coherent;
   /// routing rebuild is the caller's job.
   void set_position(NodeId id, Point p) {
-    Node& n = nodes_.at(id.v);
-    grid_.move(id.v, n.pos, p);
-    n.pos = p;
+    Point& pos = pos_.at(id.v);
+    grid_.move(id.v, pos, p);
+    pos = p;
   }
 
   // --- direct energy charging (used by the routing layer's DBF accounting) ----
@@ -182,7 +191,7 @@ class Network {
   void start_idle_drain(sim::TimePoint until);
 
   [[nodiscard]] const BatteryParams& battery_params() const { return battery_; }
-  [[nodiscard]] const Battery& battery(NodeId id) const { return node(id).battery; }
+  [[nodiscard]] const Battery& battery(NodeId id) const { return battery_state_.at(id.v); }
   /// Nodes whose finite charge has run dry.
   [[nodiscard]] std::size_t depleted_count() const;
   /// Residual-charge statistics (all zeros for infinite batteries).
@@ -191,7 +200,9 @@ class Network {
   // --- accounting --------------------------------------------------------------
   [[nodiscard]] EnergyBreakdown energy() const;
   [[nodiscard]] const NetCounters& counters() const { return counters_; }
-  [[nodiscard]] double node_energy_uj(NodeId id) const { return node(id).battery.spent_uj(); }
+  [[nodiscard]] double node_energy_uj(NodeId id) const {
+    return battery_state_.at(id.v).spent_uj();
+  }
   /// Cumulative spatial-grid disc queries (observability gauge; stays at 0
   /// for deployments below the grid cutover).
   [[nodiscard]] std::uint64_t grid_queries() const { return grid_.query_count(); }
@@ -206,22 +217,22 @@ class Network {
   /// RX energy (uJ) for `bytes`.
   [[nodiscard]] double rx_energy_uj(std::size_t bytes) const;
 
-  /// Contention + backoff delay for a frame sent by `n` (the G*n^2 term
-  /// plus a random slotted backoff).
-  [[nodiscard]] sim::Duration access_delay(const Node& n, const OutgoingFrame& f);
+  /// Contention + backoff delay for a frame sent by node `v` (the G*n^2
+  /// term plus a random slotted backoff).
+  [[nodiscard]] sim::Duration access_delay(std::uint32_t v, const OutgoingFrame& f);
   /// Paper-style independent transmission (infinite_parallelism mode).
-  void send_unqueued(Node& n, OutgoingFrame frame);
+  void send_unqueued(std::uint32_t v, OutgoingFrame frame);
   /// Delivers a finished transmission to every alive node in its disc.
-  void deliver_frame(const Node& sender, const OutgoingFrame& frame);
+  void deliver_frame(std::uint32_t sender, const OutgoingFrame& frame);
   /// Starts the CSMA access procedure for the head-of-queue frame.
-  void mac_start_access(Node& n);
+  void mac_start_access(std::uint32_t v);
   /// Backoff elapsed: if the local channel is free, transmit; otherwise
   /// defer to the end of the busy period plus a fresh backoff.
-  void mac_try_send(Node& n);
+  void mac_try_send(std::uint32_t v);
   /// Channel acquired: charge energy, occupy the disc, start the airtime.
-  void mac_begin_tx(Node& n);
+  void mac_begin_tx(std::uint32_t v);
   /// Airtime elapsed: deliver to the coverage disc, advance the queue.
-  void mac_complete_tx(Node& n);
+  void mac_complete_tx(std::uint32_t v);
   /// A fresh random backoff duration.
   [[nodiscard]] sim::Duration draw_backoff();
 
@@ -231,16 +242,16 @@ class Network {
   /// one happened, dispatches the on_depleted hook on a zero-delay event
   /// (never synchronously: the charge sites sit inside MAC/delivery
   /// bookkeeping that a synchronous kill would corrupt).
-  void charge_node_tx(Node& n, double uj, EnergyUse use);
-  void charge_node_rx(Node& n, double uj, EnergyUse use);
-  void charge_node_idle(Node& n, double uj);
-  void dispatch_depletion(Node& n);
+  void charge_node_tx(std::uint32_t v, double uj, EnergyUse use);
+  void charge_node_rx(std::uint32_t v, double uj, EnergyUse use);
+  void charge_node_idle(std::uint32_t v, double uj);
+  void dispatch_depletion(std::uint32_t v);
 
   /// Emits typed battery-threshold records for every residual bucket the
   /// node crossed since the last check.  Called only while the typed trace
   /// is enabled and the battery model is finite; pure observation (updates
   /// only the node's bookkeeping byte).
-  void note_battery_level(Node& n);
+  void note_battery_level(std::uint32_t v);
 
   /// One idle-drain tick: charge every non-depleted node, reschedule.
   void idle_drain_tick();
@@ -272,15 +283,30 @@ class Network {
   MacParams mac_;
   EnergyModelParams energy_;
   BatteryParams battery_;
-  std::vector<Node> nodes_;
+
+  // --- structure-of-arrays node state (index == NodeId.v) --------------------
+  // Grouped by access pattern: the disc scans read pos_/up_, the
+  // carrier-sense stamp writes channel_busy_until_, energy charging touches
+  // battery_state_, and the MAC state machine owns the queue/busy/event
+  // triple.  Each array is dense, so the hot loops stream contiguous memory.
+  std::vector<Point> pos_;                      ///< positions (mirrors grid_)
+  std::vector<std::uint8_t> up_;                ///< liveness flags (1 = up)
+  std::vector<sim::TimePoint> channel_busy_until_;  ///< carrier-sense horizon
+  std::vector<Battery> battery_state_;          ///< charge meters + depletion
+  std::vector<std::uint8_t> battery_bucket_;    ///< last traced residual bucket
+  std::vector<Agent*> agent_;                   ///< non-owning protocol agents
+  std::vector<FrameQueue> mac_queue_;           ///< per-node FIFO behind the radio
+  std::vector<std::uint8_t> mac_busy_;          ///< a transmission is in progress
+  std::vector<sim::EventHandle> mac_event_;     ///< pending access/tx-complete event
+
   double zone_radius_m_;
   /// Spatial index over node positions, keyed on the zone radius (the
   /// dominant query).  Membership covers *all* nodes, up or down — queries
   /// filter liveness — and set_position keeps it coherent.
   SpatialGrid grid_;
   /// Query-side cutover: deployments below this size answer disc queries by
-  /// scanning the contiguous node array (cheaper than cell hashing, same
-  /// results in the same order).  The grid is maintained regardless.
+  /// scanning the contiguous position array (cheaper than cell hashing,
+  /// same results in the same order).  The grid is maintained regardless.
   static constexpr std::size_t kGridMinNodes = 64;
   bool use_grid_ = true;
   /// Scratch hearer list reused by every deliver_frame call.  Safe because

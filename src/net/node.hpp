@@ -1,14 +1,14 @@
 #pragma once
 
-#include "net/energy.hpp"
-#include "net/frame_queue.hpp"
-#include "net/geometry.hpp"
-#include "net/ids.hpp"
 #include "net/packet.hpp"
-#include "sim/scheduler.hpp"
 
 /// \file node.hpp
-/// A sensor node and the callback interface protocol agents implement.
+/// The callback interface protocol agents implement, one agent per node.
+///
+/// Per-node state itself (position, liveness, battery, MAC bookkeeping)
+/// lives in dense structure-of-arrays storage inside net::Network — the
+/// scheduler/DBF/spatial-grid hot loops walk contiguous arrays instead of
+/// hopping across one heavyweight struct per node (see network.hpp).
 
 namespace spms::net {
 
@@ -29,32 +29,6 @@ class Agent {
 
   /// The node just recovered.
   virtual void on_up() {}
-};
-
-/// Per-node state owned by the Network.
-struct Node {
-  NodeId id;
-  Point pos;
-  bool up = true;
-
-  Battery battery;
-  /// Last residual-charge bucket reported to the typed trace (an
-  /// obs::BatteryBucket value; only advances).  Observability bookkeeping —
-  /// never read by the simulation itself.
-  std::uint8_t battery_bucket = 0;
-  Agent* agent = nullptr;  ///< non-owning; protocols outlive the run
-
-  // MAC state: one transmission at a time, FIFO queue behind it (a grow-only
-  // ring; see frame_queue.hpp).
-  FrameQueue mac_queue;
-  bool mac_busy = false;
-  sim::EventHandle mac_event;  ///< pending access-delay or tx-complete event
-
-  /// Carrier sense: the local channel is occupied until this instant
-  /// (stamped by every transmission whose coverage disc includes the node).
-  /// Initialized far in the past so "never heard anything" counts as quiet
-  /// for any window the protocols might ask about.
-  sim::TimePoint channel_busy_until = sim::TimePoint::zero() - sim::Duration::seconds(3600);
 };
 
 }  // namespace spms::net

@@ -174,6 +174,7 @@ DbfStats RoutingService::rebuild() {
   for (std::size_t u = 0; u < n; ++u) {
     const net::NodeId uid{static_cast<std::uint32_t>(u)};
     const auto& zone = zones_->zone(uid);
+    tables_[u].reserve(zone.size());
     for (const net::NodeId dest : zone) {
       Route best, second;
       for (std::size_t j = 0; j < zone.size(); ++j) {
@@ -218,15 +219,14 @@ DbfStats RoutingService::rebuild() {
     auto& events = net_.simulation().events();
     for (std::size_t u = 0; u < n; ++u) {
       std::uint64_t changed = 0;
-      const auto& old_entries = old_tables[u].entries();
       for (const auto& [dest, entry] : tables_[u].entries()) {
-        const auto it = old_entries.find(dest);
-        if (it == old_entries.end() ? entry.best.next_hop.valid()
-                                    : it->second.best.next_hop != entry.best.next_hop) {
+        const RouteEntry* old = old_tables[u].find(dest);
+        if (old == nullptr ? entry.best.next_hop.valid()
+                           : old->best.next_hop != entry.best.next_hop) {
           ++changed;
         }
       }
-      for (const auto& [dest, entry] : old_entries) {
+      for (const auto& [dest, entry] : old_tables[u].entries()) {
         if (tables_[u].find(dest) == nullptr && entry.best.next_hop.valid()) ++changed;
       }
       last_route_changes_ += changed;

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <algorithm>
 #include <limits>
 #include <optional>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "net/ids.hpp"
 
@@ -35,12 +37,17 @@ struct RouteEntry {
 };
 
 /// Routes from one node to every destination in its zone.
+///
+/// Storage is a flat vector sorted by destination id: the destination set is
+/// fixed at rebuild time (a node's zone), lookups binary-search, and a table
+/// costs two allocations instead of one hash node per destination — the
+/// rebuild of a large deployment was dominated by those map nodes.
 class RoutingTable {
  public:
   /// Looks up the entry for `dest`; nullptr when `dest` is outside the zone.
   [[nodiscard]] const RouteEntry* find(net::NodeId dest) const {
-    const auto it = entries_.find(dest);
-    return it == entries_.end() ? nullptr : &it->second;
+    const auto it = lower_bound(dest);
+    return (it == entries_.end() || it->first != dest) ? nullptr : &it->second;
   }
 
   /// Best route to `dest`, if any.
@@ -56,16 +63,38 @@ class RoutingTable {
     return e != nullptr ? e->best.next_hop : net::kNoNode;
   }
 
-  void set(net::NodeId dest, RouteEntry entry) { entries_[dest] = entry; }
+  /// Inserts or overwrites the entry for `dest`.  The rebuild inserts in
+  /// ascending destination order, so this is an amortized push_back.
+  void set(net::NodeId dest, RouteEntry entry) {
+    const auto it = lower_bound(dest);
+    if (it != entries_.end() && it->first == dest) {
+      it->second = entry;
+    } else {
+      entries_.insert(it, {dest, entry});
+    }
+  }
+  void reserve(std::size_t n) { entries_.reserve(n); }
   void clear() { entries_.clear(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
-  [[nodiscard]] const std::unordered_map<net::NodeId, RouteEntry>& entries() const {
+  /// Entries sorted by destination id.
+  [[nodiscard]] const std::vector<std::pair<net::NodeId, RouteEntry>>& entries() const {
     return entries_;
   }
 
  private:
-  std::unordered_map<net::NodeId, RouteEntry> entries_;
+  using Iter = std::vector<std::pair<net::NodeId, RouteEntry>>::iterator;
+  using ConstIter = std::vector<std::pair<net::NodeId, RouteEntry>>::const_iterator;
+  [[nodiscard]] ConstIter lower_bound(net::NodeId dest) const {
+    return std::lower_bound(entries_.begin(), entries_.end(), dest,
+                            [](const auto& e, net::NodeId d) { return e.first < d; });
+  }
+  [[nodiscard]] Iter lower_bound(net::NodeId dest) {
+    return std::lower_bound(entries_.begin(), entries_.end(), dest,
+                            [](const auto& e, net::NodeId d) { return e.first < d; });
+  }
+
+  std::vector<std::pair<net::NodeId, RouteEntry>> entries_;
 };
 
 }  // namespace spms::routing

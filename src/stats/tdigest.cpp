@@ -1,0 +1,171 @@
+#include "stats/tdigest.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace spms::stats {
+
+TDigest::TDigest(double compression)
+    : compression_(std::max(compression, 10.0)),
+      buffer_cap_(static_cast<std::size_t>(8.0 * compression_)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  buffer_.reserve(buffer_cap_);
+}
+
+void TDigest::add(double x) {
+  buffer_.push_back(x);
+  ++count_;
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+  if (buffer_.size() >= buffer_cap_) flush();
+}
+
+double TDigest::k_scale(double q) const {
+  return compression_ * (std::asin(2.0 * q - 1.0) / (2.0 * std::numbers::pi));
+}
+
+void TDigest::flush() {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+
+  // Merge the sorted buffer with the sorted centroid list into `merged`
+  // (classic two-way merge; buffered points are weight-1 centroids).
+  std::vector<Centroid> merged;
+  merged.reserve(centroids_.size() + buffer_.size());
+  std::size_t ci = 0, bi = 0;
+  while (ci < centroids_.size() || bi < buffer_.size()) {
+    if (bi >= buffer_.size() ||
+        (ci < centroids_.size() && centroids_[ci].mean <= buffer_[bi])) {
+      merged.push_back(centroids_[ci++]);
+    } else {
+      merged.push_back({buffer_[bi++], 1.0});
+    }
+  }
+  buffer_.clear();
+
+  const double total = total_weight_ + static_cast<double>(bi);
+  total_weight_ = total;
+
+  // One compression pass: greedily absorb neighbors while the k-scale span
+  // of the combined centroid stays under one unit.
+  centroids_.clear();
+  Centroid cur = merged.front();
+  double w_before = 0.0;  // weight fully emitted before `cur`
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    const Centroid& next = merged[i];
+    const double q0 = w_before / total;
+    const double q2 = (w_before + cur.weight + next.weight) / total;
+    if (k_scale(q2) - k_scale(q0) <= 1.0) {
+      // Weighted mean; accumulate in the numerically stable incremental form.
+      const double w = cur.weight + next.weight;
+      cur.mean += (next.mean - cur.mean) * (next.weight / w);
+      cur.weight = w;
+    } else {
+      w_before += cur.weight;
+      centroids_.push_back(cur);
+      cur = next;
+    }
+  }
+  centroids_.push_back(cur);
+}
+
+void TDigest::merge(const TDigest& other) {
+  // Feed the other digest's state through the buffer path: centroids keep
+  // their weights, buffered points arrive as weight-1 singletons.  Flushing
+  // first keeps the merge one compression pass.
+  flush();
+  std::vector<Centroid> incoming = other.centroids_;
+  for (const double x : other.buffer_) incoming.push_back({x, 1.0});
+  if (incoming.empty()) return;
+  std::sort(incoming.begin(), incoming.end(),
+            [](const Centroid& a, const Centroid& b) { return a.mean < b.mean; });
+
+  std::vector<Centroid> merged;
+  merged.reserve(centroids_.size() + incoming.size());
+  std::size_t ci = 0, ii = 0;
+  while (ci < centroids_.size() || ii < incoming.size()) {
+    if (ii >= incoming.size() ||
+        (ci < centroids_.size() && centroids_[ci].mean <= incoming[ii].mean)) {
+      merged.push_back(centroids_[ci++]);
+    } else {
+      merged.push_back(incoming[ii++]);
+    }
+  }
+  double incoming_weight = 0.0;
+  for (const Centroid& c : incoming) incoming_weight += c.weight;
+  const double total = total_weight_ + incoming_weight;
+  total_weight_ = total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+
+  centroids_.clear();
+  Centroid cur = merged.front();
+  double w_before = 0.0;
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    const Centroid& next = merged[i];
+    const double q0 = w_before / total;
+    const double q2 = (w_before + cur.weight + next.weight) / total;
+    if (k_scale(q2) - k_scale(q0) <= 1.0) {
+      const double w = cur.weight + next.weight;
+      cur.mean += (next.mean - cur.mean) * (next.weight / w);
+      cur.weight = w;
+    } else {
+      w_before += cur.weight;
+      centroids_.push_back(cur);
+      cur = next;
+    }
+  }
+  centroids_.push_back(cur);
+}
+
+std::size_t TDigest::count() const { return count_; }
+
+double TDigest::quantile(double q) {
+  assert(q >= 0.0 && q <= 1.0 && "TDigest::quantile: q outside [0,1]");
+  q = std::clamp(q, 0.0, 1.0);
+  flush();
+  if (centroids_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (centroids_.size() == 1) return centroids_.front().mean;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+
+  const double target = q * total_weight_;
+  // Walk centroids treating each as a mass at its mean, interpolating
+  // between adjacent centroid midpoints (standard t-digest estimation with
+  // exact min/max endpoints).
+  double cum = 0.0;  // weight strictly before centroid i
+  for (std::size_t i = 0; i < centroids_.size(); ++i) {
+    const Centroid& c = centroids_[i];
+    const double mid = cum + c.weight / 2.0;
+    if (target < mid) {
+      if (i == 0) {
+        // Inside the first centroid: interpolate from the true minimum.
+        const double span = mid;
+        const double frac = span > 0.0 ? target / span : 0.0;
+        return min_ + (c.mean - min_) * frac;
+      }
+      const Centroid& prev = centroids_[i - 1];
+      const double prev_mid = cum - prev.weight / 2.0;
+      const double frac = (target - prev_mid) / (mid - prev_mid);
+      return prev.mean + (c.mean - prev.mean) * frac;
+    }
+    cum += c.weight;
+  }
+  // Past the last midpoint: interpolate toward the true maximum.
+  const Centroid& last = centroids_.back();
+  const double last_mid = total_weight_ - last.weight / 2.0;
+  const double span = total_weight_ - last_mid;
+  const double frac = span > 0.0 ? (target - last_mid) / span : 1.0;
+  return last.mean + (max_ - last.mean) * std::clamp(frac, 0.0, 1.0);
+}
+
+std::size_t TDigest::memory_bytes() const {
+  return centroids_.capacity() * sizeof(Centroid) + buffer_.capacity() * sizeof(double);
+}
+
+}  // namespace spms::stats

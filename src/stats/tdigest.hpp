@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file tdigest.hpp
+/// Streaming quantile sketch — the merging t-digest variant (Dunning &
+/// Ertl, "Computing extremely accurate quantiles using t-digests").
+///
+/// Million-node runs produce far more delay samples than an exact
+/// sample-retaining buffer should hold; the t-digest summarizes any stream
+/// in O(compression) centroids with relative accuracy concentrated at the
+/// tails (exactly where p95/p99 live).  This implementation is the
+/// buffer-and-merge variant: points accumulate in a bounded buffer and are
+/// folded into the sorted centroid list by one merge pass governed by the
+/// k1 (arcsine) scale function.
+///
+/// Determinism: no randomness anywhere — the sketch is a pure function of
+/// the insertion sequence (buffered points are sorted with std::sort on
+/// (value) before merging, and ties collapse into weights, so equal inputs
+/// cannot reorder results).  Two runs feeding identical sample sequences
+/// produce bit-identical centroids and therefore bit-identical quantiles,
+/// which is what keeps sketched aggregates stable across --jobs settings
+/// (per-seed runs are single-threaded and bit-identical; the sketch only
+/// ever sees one run's stream).
+///
+/// merge(other) folds another digest in; it is deterministic but — like
+/// every t-digest — only approximately associative: (A+B)+C and A+(B+C)
+/// agree within the sketch's accuracy bound, not bit-for-bit.
+
+namespace spms::stats {
+
+class TDigest {
+ public:
+  /// \param compression  the delta parameter: the digest keeps at most
+  ///        ~2*compression centroids.  100 gives ~0.1-1% quantile error at
+  ///        the mid-range and much tighter tails.
+  explicit TDigest(double compression = 100.0);
+
+  /// Adds one observation with weight 1.
+  void add(double x);
+
+  /// Folds `other` into this digest (centroid-wise, then recompresses).
+  void merge(const TDigest& other);
+
+  /// Total number of observations added.
+  [[nodiscard]] std::size_t count() const;
+
+  /// q-quantile estimate for q in [0,1]; NaN when empty.  Non-const: flushes
+  /// the insert buffer.
+  [[nodiscard]] double quantile(double q);
+
+  /// Exact stream extremes (tracked outside the centroids).
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  [[nodiscard]] double compression() const { return compression_; }
+  /// Centroids currently held (diagnostic; post-flush bound ~2*compression).
+  [[nodiscard]] std::size_t centroid_count() const { return centroids_.size(); }
+  /// Heap footprint of the sketch state (buffer + centroid storage).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  struct Centroid {
+    double mean = 0.0;
+    double weight = 0.0;
+  };
+
+  /// Sorts the buffer and merges it (plus existing centroids) into a fresh
+  /// compressed centroid list.
+  void flush();
+
+  /// The k1 scale function: k(q) = delta/(2*pi) * asin(2q-1).  Its unit
+  /// steps bound centroid weights tightly near q=0 and q=1.
+  [[nodiscard]] double k_scale(double q) const;
+
+  double compression_;
+  std::vector<Centroid> centroids_;  ///< sorted by mean, weights sum to total_
+  std::vector<double> buffer_;       ///< unmerged points
+  std::size_t buffer_cap_;
+  double total_weight_ = 0.0;  ///< merged weight (excludes buffer)
+  std::size_t count_ = 0;      ///< all observations (includes buffer)
+  double min_;
+  double max_;
+};
+
+}  // namespace spms::stats

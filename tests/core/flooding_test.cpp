@@ -64,8 +64,8 @@ TEST(FloodingTest, SendsFullDataFrames) {
   rig.publish(net::NodeId{0});
   rig.sim.run();
   const double data_uj = 0.1995 * 40 * 0.05;  // level-3 power * 40 B * 0.05 ms/B
-  EXPECT_NEAR(rig.net.node(net::NodeId{0}).battery.meter().protocol_tx_uj(), data_uj, 1e-9);
-  EXPECT_NEAR(rig.net.node(net::NodeId{1}).battery.meter().protocol_tx_uj(), data_uj, 1e-9);
+  EXPECT_NEAR(rig.net.battery(net::NodeId{0}).meter().protocol_tx_uj(), data_uj, 1e-9);
+  EXPECT_NEAR(rig.net.battery(net::NodeId{1}).meter().protocol_tx_uj(), data_uj, 1e-9);
 }
 
 }  // namespace

@@ -77,7 +77,7 @@ TEST(SpinProtocolTest, EverythingAtMaximumPower) {
   // B transmitted one 2-byte REQ and one 2-byte ADV, both at the zone level
   // even though A is only 5 m away (0.0125 mW would have sufficed).
   const double frame_uj = 0.1995 * 0.1;  // 2 B * 0.05 ms/B * level power
-  EXPECT_NEAR(rig.net.node(kB).battery.meter().protocol_tx_uj(), 2 * frame_uj, 1e-9);
+  EXPECT_NEAR(rig.net.battery(kB).meter().protocol_tx_uj(), 2 * frame_uj, 1e-9);
 }
 
 TEST(SpinProtocolTest, OneRequestPerItemDespiteManyAdvs) {

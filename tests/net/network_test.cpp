@@ -123,7 +123,7 @@ TEST_F(NetworkTest, TxEnergyUsesCheapestCoveringLevel) {
   // 5 m -> level 5 (0.0125 mW); 2 bytes -> 0.1 ms airtime.
   ASSERT_TRUE(net->send_to(NodeId{0}, adv_packet({NodeId{0}, 1}), NodeId{1}));
   sim.run();
-  EXPECT_NEAR(net->node(NodeId{0}).battery.meter().protocol_tx_uj(), 0.0125 * 0.1, 1e-12);
+  EXPECT_NEAR(net->battery(NodeId{0}).meter().protocol_tx_uj(), 0.0125 * 0.1, 1e-12);
 }
 
 TEST_F(NetworkTest, RxEnergyChargedToAddressedReceivers) {
@@ -131,8 +131,8 @@ TEST_F(NetworkTest, RxEnergyChargedToAddressedReceivers) {
   ASSERT_TRUE(net->send(NodeId{0}, adv_packet({NodeId{0}, 1}), 12.0));
   sim.run();
   const double rx = net->energy_params().rx_power_mw * 0.1;  // rx power * airtime
-  EXPECT_NEAR(net->node(NodeId{1}).battery.meter().protocol_rx_uj(), rx, 1e-12);
-  EXPECT_NEAR(net->node(NodeId{2}).battery.meter().protocol_rx_uj(), rx, 1e-12);
+  EXPECT_NEAR(net->battery(NodeId{1}).meter().protocol_rx_uj(), rx, 1e-12);
+  EXPECT_NEAR(net->battery(NodeId{2}).meter().protocol_rx_uj(), rx, 1e-12);
 }
 
 TEST_F(NetworkTest, OverhearingChargesOnlyWhenEnabled) {
@@ -141,7 +141,7 @@ TEST_F(NetworkTest, OverhearingChargesOnlyWhenEnabled) {
   build_line(3, 5.0, 12.0, energy);
   ASSERT_TRUE(net->send_to(NodeId{0}, adv_packet({NodeId{0}, 1}), NodeId{2}));
   sim.run();
-  EXPECT_DOUBLE_EQ(net->node(NodeId{1}).battery.meter().protocol_rx_uj(), 0.0);
+  EXPECT_DOUBLE_EQ(net->battery(NodeId{1}).meter().protocol_rx_uj(), 0.0);
 
   sim::Simulation sim2{1};
   energy.charge_overhearing = true;
@@ -151,7 +151,7 @@ TEST_F(NetworkTest, OverhearingChargesOnlyWhenEnabled) {
   p.dst = NodeId{2};
   ASSERT_TRUE(net2.send(NodeId{0}, p, 10.0));
   sim2.run();
-  EXPECT_GT(net2.node(NodeId{1}).battery.meter().protocol_rx_uj(), 0.0);
+  EXPECT_GT(net2.battery(NodeId{1}).meter().protocol_rx_uj(), 0.0);
 }
 
 TEST_F(NetworkTest, PerNodeTransmissionsSerialize) {
@@ -218,7 +218,7 @@ TEST_F(NetworkTest, DownReceiverMissesFrame) {
   ASSERT_TRUE(net->send_to(NodeId{0}, adv_packet({NodeId{0}, 1}), NodeId{1}));
   sim.run();
   EXPECT_TRUE(agents[1]->received.empty());
-  EXPECT_DOUBLE_EQ(net->node(NodeId{1}).battery.meter().protocol_rx_uj(), 0.0);  // no rx while down
+  EXPECT_DOUBLE_EQ(net->battery(NodeId{1}).meter().protocol_rx_uj(), 0.0);  // no rx while down
 }
 
 TEST_F(NetworkTest, ReceiverFailingDuringProcessingDropsFrame) {
@@ -273,8 +273,8 @@ TEST_F(NetworkTest, ChargeHelpersAccountRoutingEnergy) {
   net->charge_rx(NodeId{1}, 100, EnergyUse::kRouting);
   // 11 m -> level 4 (0.05 mW, range 11.28 m); 100 B -> 5 ms airtime.
   const double rx = net->energy_params().rx_power_mw;
-  EXPECT_NEAR(net->node(NodeId{0}).battery.meter().routing_tx_uj(), 0.05 * 5.0, 1e-12);
-  EXPECT_NEAR(net->node(NodeId{1}).battery.meter().routing_rx_uj(), rx * 5.0, 1e-12);
+  EXPECT_NEAR(net->battery(NodeId{0}).meter().routing_tx_uj(), 0.05 * 5.0, 1e-12);
+  EXPECT_NEAR(net->battery(NodeId{1}).meter().routing_rx_uj(), rx * 5.0, 1e-12);
   const auto total = net->energy();
   EXPECT_NEAR(total.routing_uj(), 0.05 * 5.0 + rx * 5.0, 1e-12);
   EXPECT_DOUBLE_EQ(total.protocol_uj(), 0.0);

@@ -75,5 +75,29 @@ TEST(PercentilesTest, InsertAfterQueryResorts) {
   EXPECT_DOUBLE_EQ(p.median(), 10.0);
 }
 
+TEST(PercentilesTest, ReportsFootprintAndReservesGeometrically) {
+  Percentiles p;
+  EXPECT_EQ(p.sample_count(), 0u);
+  EXPECT_EQ(p.memory_bytes(), 0u);
+  p.add(1.0);
+  // First allocation jumps straight to the reserve floor: growing a
+  // million-sample buffer 1.5x-at-a-time out of push_back is exactly the
+  // realloc churn the explicit policy removes.
+  EXPECT_EQ(p.memory_bytes(), 1024u * sizeof(double));
+  for (int i = 0; i < 2500; ++i) p.add(static_cast<double>(i));
+  EXPECT_EQ(p.sample_count(), 2501u);
+  EXPECT_EQ(p.memory_bytes(), 4096u * sizeof(double));  // floor doubled twice
+}
+
+TEST(PercentilesTest, SketchEngineBoundsMemory) {
+  Percentiles p{PercentileOptions{.sketch = true, .compression = 50.0}};
+  for (int i = 0; i < 100'000; ++i) p.add(static_cast<double>(i % 997));
+  EXPECT_TRUE(p.is_sketch());
+  EXPECT_EQ(p.sample_count(), 100'000u);
+  // O(compression) memory, not one double per sample (800 KB here).
+  EXPECT_LT(p.memory_bytes(), 64u * 1024u);
+  EXPECT_TRUE(std::isnan(Percentiles{PercentileOptions{.sketch = true}}.quantile(0.5)));
+}
+
 }  // namespace
 }  // namespace spms::stats

@@ -1,0 +1,211 @@
+#include "stats/tdigest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "stats/percentiles.hpp"
+
+/// Accuracy and determinism contract of the t-digest sketch.  Accuracy is
+/// checked in *rank* space: for an estimate v of the q-quantile, the
+/// fraction of exact samples below v must sit within a few percent of q —
+/// the bound the t-digest paper states, and one that is distribution-free
+/// (value-space tolerances would be meaningless on a lognormal tail).
+
+namespace spms::stats {
+namespace {
+
+/// Fraction of (sorted) samples strictly below v, i.e. the empirical CDF.
+double empirical_rank(const std::vector<double>& sorted, double v) {
+  const auto it = std::lower_bound(sorted.begin(), sorted.end(), v);
+  return static_cast<double>(it - sorted.begin()) / static_cast<double>(sorted.size());
+}
+
+void expect_rank_accuracy(std::vector<double> samples, double max_rank_error) {
+  TDigest digest{100.0};
+  for (const double x : samples) digest.add(x);
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.01, 0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    const double est = digest.quantile(q);
+    EXPECT_NEAR(empirical_rank(samples, est), q, max_rank_error)
+        << "q=" << q << " estimate=" << est;
+  }
+  // Extremes are tracked exactly, outside the centroids.
+  EXPECT_DOUBLE_EQ(digest.quantile(0.0), samples.front());
+  EXPECT_DOUBLE_EQ(digest.quantile(1.0), samples.back());
+}
+
+TEST(TDigestTest, EmptyIsNaN) {
+  TDigest d;
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_TRUE(std::isnan(d.quantile(0.5)));
+}
+
+TEST(TDigestTest, SingleAndConstantStreams) {
+  TDigest d;
+  d.add(42.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 42.0);
+
+  TDigest flat;
+  for (int i = 0; i < 10'000; ++i) flat.add(7.5);
+  EXPECT_DOUBLE_EQ(flat.quantile(0.25), 7.5);
+  EXPECT_DOUBLE_EQ(flat.quantile(0.99), 7.5);
+  EXPECT_EQ(flat.count(), 10'000u);
+}
+
+TEST(TDigestTest, UniformStreamRankAccuracy) {
+  sim::Rng rng{20040625};
+  std::vector<double> xs;
+  xs.reserve(50'000);
+  for (int i = 0; i < 50'000; ++i) xs.push_back(rng.uniform(0.0, 1000.0));
+  expect_rank_accuracy(std::move(xs), 0.01);
+}
+
+TEST(TDigestTest, LognormalStreamRankAccuracy) {
+  // Heavy right tail — the shape of a delay distribution.  Box-Muller from
+  // the repo Rng keeps the stream deterministic.
+  sim::Rng rng{7};
+  std::vector<double> xs;
+  xs.reserve(50'000);
+  for (int i = 0; i < 25'000; ++i) {
+    const double u1 = rng.uniform01();
+    const double u2 = rng.uniform01();
+    const double r = std::sqrt(-2.0 * std::log(u1 <= 0.0 ? 1e-300 : u1));
+    xs.push_back(std::exp(r * std::cos(2.0 * M_PI * u2)));
+    xs.push_back(std::exp(r * std::sin(2.0 * M_PI * u2)));
+  }
+  expect_rank_accuracy(std::move(xs), 0.015);
+}
+
+TEST(TDigestTest, AdversarialStreamsRankAccuracy) {
+  // Sorted input is the classic streaming-quantile killer: every point lands
+  // past the current tail centroid.
+  std::vector<double> ascending;
+  ascending.reserve(40'000);
+  for (int i = 0; i < 40'000; ++i) ascending.push_back(static_cast<double>(i));
+  expect_rank_accuracy(std::move(ascending), 0.01);
+
+  std::vector<double> descending;
+  descending.reserve(40'000);
+  for (int i = 40'000; i > 0; --i) descending.push_back(static_cast<double>(i));
+  expect_rank_accuracy(std::move(descending), 0.01);
+
+  // Two-point mixture with a 1:1000 scale gap: quantiles must snap to the
+  // correct cluster on both sides of the 0.7 split.
+  std::vector<double> mixture;
+  mixture.reserve(30'000);
+  for (int i = 0; i < 30'000; ++i) mixture.push_back(i % 10 < 7 ? 1.0 : 1000.0);
+  TDigest d;
+  for (const double x : mixture) d.add(x);
+  EXPECT_NEAR(d.quantile(0.35), 1.0, 1.0);
+  EXPECT_NEAR(d.quantile(0.95), 1000.0, 1.0);
+}
+
+TEST(TDigestTest, CentroidCountStaysBounded) {
+  TDigest d{100.0};
+  sim::Rng rng{11};
+  for (int i = 0; i < 200'000; ++i) d.add(rng.uniform(0.0, 1.0));
+  (void)d.quantile(0.5);  // flush
+  EXPECT_LE(d.centroid_count(), 2u * 100u + 10u);
+  // Footprint is O(compression), not O(count): buffer + centroids, well
+  // under a few hundred KB where the exact engine would hold 1.6 MB.
+  EXPECT_LT(d.memory_bytes(), 100u * 1024u);
+}
+
+TEST(TDigestTest, DeterministicForIdenticalStreams) {
+  sim::Rng rng_a{99};
+  sim::Rng rng_b{99};
+  TDigest a, b;
+  for (int i = 0; i < 30'000; ++i) {
+    a.add(rng_a.uniform(0.0, 10.0));
+    b.add(rng_b.uniform(0.0, 10.0));
+  }
+  for (const double q : {0.01, 0.5, 0.95, 0.99}) {
+    // Bit-identical, not merely close: the sketch is a pure function of the
+    // insertion sequence (the --jobs independence of sketched aggregates
+    // rests on this).
+    EXPECT_EQ(a.quantile(q), b.quantile(q)) << q;
+  }
+}
+
+TEST(TDigestTest, MergePreservesCountAndExtremes) {
+  sim::Rng rng{5};
+  TDigest a, b;
+  std::vector<double> all;
+  for (int i = 0; i < 20'000; ++i) {
+    const double x = rng.uniform(-50.0, 50.0);
+    all.push_back(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.size());
+  std::sort(all.begin(), all.end());
+  EXPECT_DOUBLE_EQ(a.min(), all.front());
+  EXPECT_DOUBLE_EQ(a.max(), all.back());
+  for (const double q : {0.05, 0.5, 0.95}) {
+    EXPECT_NEAR(empirical_rank(all, a.quantile(q)), q, 0.015) << q;
+  }
+}
+
+TEST(TDigestTest, MergeIsAssociativeWithinAccuracyBounds) {
+  // (A+B)+C vs A+(B+C): t-digest merges are deterministic but only
+  // approximately associative — both groupings must answer every quantile
+  // within the sketch's own rank-accuracy budget of the pooled stream.
+  sim::Rng rng{123};
+  std::vector<double> pooled;
+  TDigest a1, b1, c1, a2, b2, c2;
+  for (int i = 0; i < 30'000; ++i) {
+    const double x = rng.exponential(3.0);
+    pooled.push_back(x);
+    TDigest* first[] = {&a1, &b1, &c1};
+    TDigest* second[] = {&a2, &b2, &c2};
+    first[i % 3]->add(x);
+    second[i % 3]->add(x);
+  }
+  a1.merge(b1);
+  a1.merge(c1);  // (A+B)+C
+  b2.merge(c2);
+  a2.merge(b2);  // A+(B+C)
+  std::sort(pooled.begin(), pooled.end());
+  for (const double q : {0.05, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+    const double left = a1.quantile(q);
+    const double right = a2.quantile(q);
+    EXPECT_NEAR(empirical_rank(pooled, left), q, 0.02) << q;
+    EXPECT_NEAR(empirical_rank(pooled, right), q, 0.02) << q;
+    EXPECT_NEAR(empirical_rank(pooled, left), empirical_rank(pooled, right), 0.02) << q;
+  }
+}
+
+TEST(TDigestTest, AgreesWithExactEngineOnPercentilesFacade) {
+  // The facade contract: sketch quantiles track the exact engine within a
+  // rank hair on the same stream.
+  Percentiles exact;
+  Percentiles sketch{PercentileOptions{.sketch = true, .compression = 100.0}};
+  sim::Rng rng{2004};
+  std::vector<double> xs;
+  for (int i = 0; i < 20'000; ++i) {
+    const double x = rng.exponential(10.0);
+    exact.add(x);
+    sketch.add(x);
+    xs.push_back(x);
+  }
+  EXPECT_FALSE(exact.is_sketch());
+  EXPECT_TRUE(sketch.is_sketch());
+  EXPECT_EQ(exact.sample_count(), sketch.sample_count());
+  EXPECT_TRUE(sketch.samples().empty());  // nothing retained under the sketch
+  EXPECT_LT(sketch.memory_bytes(), exact.memory_bytes());
+  std::sort(xs.begin(), xs.end());
+  for (const double q : {0.5, 0.95, 0.99}) {
+    EXPECT_NEAR(empirical_rank(xs, sketch.quantile(q)),
+                empirical_rank(xs, exact.quantile(q)), 0.01)
+        << q;
+  }
+}
+
+}  // namespace
+}  // namespace spms::stats
