@@ -7,13 +7,12 @@
 #include <new>
 #include <string>
 
-#include <sys/resource.h>
-
 #include "exp/batch.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario_registry.hpp"
 #include "exp/store/result_store.hpp"
 #include "exp/table.hpp"
+#include "obs/process_stats.hpp"
 
 /// \file bench_common.hpp
 /// Shared scaffolding for the figure-reproduction binaries.
@@ -86,14 +85,9 @@ inline std::size_t alloc_count() {
 #endif
 }
 
-/// Peak resident set size of this process, in bytes (Linux ru_maxrss is
-/// KiB).  Monotonic over the process lifetime — run workloads in ascending
-/// size order if per-workload peaks are wanted.
-inline std::size_t peak_rss_bytes() {
-  rusage usage{};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
-  return static_cast<std::size_t>(usage.ru_maxrss) * 1024u;
-}
+/// Peak resident set size, in bytes — the shared utility the telemetry
+/// gauge `process.peak_rss_bytes` also reads (obs/process_stats.hpp).
+inline std::size_t peak_rss_bytes() { return obs::peak_rss_bytes(); }
 
 /// Reference experiment configuration (delegates to the registry).
 inline exp::ExperimentConfig reference_config() { return exp::reference_config(); }

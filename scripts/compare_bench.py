@@ -26,6 +26,11 @@ peak_rss_mb): a benchmark fails when a fresh counter exceeds baseline *
 FACTOR.  Unlike wall time these are near-deterministic, so the factor can be
 much tighter than --threshold; it catches pooling/SBO work silently rotting
 back into per-item heap churn, which a 2x time gate would never see.
+
+--require COUNTER (repeatable) fails the gate when any gated benchmark is
+missing COUNTER on either side.  The perf-smoke job uses it to pin the
+counters its gates depend on: without it, deleting a counter from the bench
+silently turns the corresponding gate into a no-op.
 """
 
 from __future__ import annotations
@@ -65,6 +70,9 @@ def main() -> int:
     parser.add_argument("--max-regress", metavar="FACTOR", type=float, default=None,
                         help="also gate memory counters (allocs_per_op, peak_rss_mb): "
                              "fail when fresh exceeds baseline * FACTOR")
+    parser.add_argument("--require", metavar="COUNTER", action="append", default=[],
+                        help="fail when COUNTER is absent from a gated benchmark "
+                             "on either side (repeatable)")
     args = parser.parse_args()
 
     base = load_benchmarks(args.baseline)
@@ -99,6 +107,12 @@ def main() -> int:
                   f"{ratio:>8.2f}  {'ok' if ok else 'REGRESSION'}")
             if not ok:
                 failures.append(f"{name}: time ratio {ratio:.2f} > {args.threshold}")
+        for counter in args.require:
+            for side, run in (("baseline", b), ("fresh", f)):
+                if counter not in run:
+                    label = f"{name}[{counter}]"
+                    failures.append(f"{label}: required counter missing from {side}")
+                    print(f"{label:<40} {'-':>14} {'-':>14} {'-':>8}  MISSING ({side})")
         if args.max_regress is not None:
             for counter in ("allocs_per_op", "peak_rss_mb"):
                 if counter not in b or counter not in f:

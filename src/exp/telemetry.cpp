@@ -6,6 +6,7 @@
 
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
+#include "obs/process_stats.hpp"
 
 namespace spms::exp {
 
@@ -180,6 +181,12 @@ void TelemetrySession::register_catalog() {
   });
   registry_.register_gauge("trace.ring_dropped", [&events] {
     return static_cast<double>(events.dropped());
+  });
+
+  // OS-level process view (obs/process_stats.hpp); monotonic over the
+  // process, so in a batch it reflects the fattest run so far, not this one.
+  registry_.register_gauge("process.peak_rss_bytes", [] {
+    return static_cast<double>(obs::peak_rss_bytes());
   });
 }
 

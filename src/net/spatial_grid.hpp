@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <unordered_map>
@@ -56,7 +57,9 @@ class SpatialGrid {
   /// the file comment.
   template <typename Visit>
   void visit_disc(Point center, double radius_m, Visit&& visit) const {
-    ++queries_;
+    // Relaxed: a pure statistics counter, queried only between runs.  The
+    // atomic makes concurrent disc queries from parallel event groups safe.
+    queries_.fetch_add(1, std::memory_order_relaxed);
     const std::int64_t cx0 = coord(center.x - radius_m);
     const std::int64_t cx1 = coord(center.x + radius_m);
     const std::int64_t cy0 = coord(center.y - radius_m);
@@ -73,7 +76,9 @@ class SpatialGrid {
   [[nodiscard]] double cell_size() const { return cell_; }
 
   /// Cumulative visit_disc() calls (observability gauge; reset() clears it).
-  [[nodiscard]] std::uint64_t query_count() const { return queries_; }
+  [[nodiscard]] std::uint64_t query_count() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
 
  private:
   [[nodiscard]] std::int64_t coord(double v) const {
@@ -87,7 +92,7 @@ class SpatialGrid {
 
   double cell_ = 1.0;
   double inv_cell_ = 1.0;
-  mutable std::uint64_t queries_ = 0;
+  mutable std::atomic<std::uint64_t> queries_{0};
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> cells_;
 };
 

@@ -1,0 +1,15 @@
+#include "obs/process_stats.hpp"
+
+#include <sys/resource.h>
+
+namespace spms::obs {
+
+std::size_t peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in KiB (BSD reports bytes; this build targets
+  // Linux — see the toolchain notes in ROADMAP.md).
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024u;
+}
+
+}  // namespace spms::obs

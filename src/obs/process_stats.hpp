@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstddef>
+
+/// \file process_stats.hpp
+/// OS-level process statistics shared by the observability layer and the
+/// benches.  Kept dependency-free (no sim/net includes) so anything — the
+/// telemetry gauge catalog, bench binaries, tests — can pull a number
+/// without dragging the simulator in.
+
+namespace spms::obs {
+
+/// Peak resident set size of this process, in bytes.  Monotonic over the
+/// process lifetime (the kernel high-water mark never decreases), so
+/// per-workload peaks require running workloads in ascending size order.
+/// Returns 0 when the platform cannot report it.
+[[nodiscard]] std::size_t peak_rss_bytes();
+
+}  // namespace spms::obs

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file footprint.hpp
+/// Conflict footprints for deterministic parallel dispatch.
+///
+/// Every scheduled event may declare the region of simulation state it can
+/// read or write when it fires.  Two events of the same timestamp whose
+/// footprints cannot overlap are independent: executing them on different
+/// threads and committing their side effects in canonical order is
+/// indistinguishable from running them back to back.
+///
+/// Three classes:
+///  * kGlobal — may touch anything (the default; untagged events).  A batch
+///    containing any global event executes sequentially.
+///  * kSpatial — touches only node state within `radius_m` of (x, y).  The
+///    tagger is responsible for a conservative disc: for MAC/delivery events
+///    the Network uses coverage + zone radius, which bounds the carrier
+///    stamps, hearer set, and every synchronous neighbor/contention query a
+///    receiving agent can issue (all within one zone of a hearer).
+///  * kLocal — touches only state no other same-time event can see (its own
+///    pooled context, the scheduler via the journal).  Always independent.
+///
+/// Footprints are advisory for *grouping only*: they never affect what an
+/// event does, and a conservative (larger or global) footprint is always
+/// correct — it merely serializes more.
+
+namespace spms::sim {
+
+struct Footprint {
+  enum class Kind : std::uint8_t { kGlobal, kSpatial, kLocal };
+
+  Kind kind = Kind::kGlobal;
+  double x = 0.0;
+  double y = 0.0;
+  double radius_m = 0.0;
+
+  [[nodiscard]] static Footprint global() { return {}; }
+  [[nodiscard]] static Footprint local() { return {Kind::kLocal, 0.0, 0.0, 0.0}; }
+  [[nodiscard]] static Footprint disc(double x, double y, double radius_m) {
+    return {Kind::kSpatial, x, y, radius_m};
+  }
+
+  /// True when two spatial discs can interact (distance <= r1 + r2,
+  /// inclusive to stay conservative under floating-point rounding).
+  [[nodiscard]] static bool discs_conflict(const Footprint& a, const Footprint& b) {
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    const double rr = a.radius_m + b.radius_m;
+    return dx * dx + dy * dy <= rr * rr;
+  }
+};
+
+}  // namespace spms::sim

@@ -1,0 +1,335 @@
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/worker_pool.hpp"
+
+/// \file parallel.cpp
+/// Deterministic parallel dispatch: the batch-pop / group / execute / commit
+/// machinery of Scheduler::run_parallel.
+///
+/// Determinism argument, in full:
+///  * A batch is every event sharing the earliest timestamp, popped in
+///    (time, seq) order.  Groups partition the batch so that no two events
+///    in different groups can touch the same state (footprint discs
+///    disjoint, locals self-contained; one global event forces the whole
+///    batch sequential).
+///  * Within a group, events execute in seq order on one worker — the same
+///    relative order the sequential loop uses.  Across groups there is no
+///    shared state by construction, so interleaving is unobservable.
+///  * Everything that feeds the global deterministic order is journaled,
+///    not applied: new schedules (seq assignment + backoff draws),
+///    cancellations of queued events, and serial closures.  The commit walk
+///    replays journals in (batch index, op issue order) — precisely the
+///    sequential execution order — so seq numbers, RNG draw sequences and
+///    observer call order are byte-identical to a 1-thread run.
+///  * Same-time events scheduled during the batch land in follow-on batches
+///    (their seq is higher than every popped seq), which pop after commit —
+///    again matching the sequential loop.
+///
+/// Why backoff draws can be deferred at all: the only root-RNG consumer at
+/// run time is the MAC's slotted backoff, whose value parametrizes the
+/// firing time of a *future* event and never influences control flow inside
+/// the drawing event.  The draw is therefore not needed until the commit
+/// phase, where it happens in canonical order against the same generator
+/// state the sequential run would have had.
+
+namespace spms::sim {
+
+namespace detail {
+extern thread_local int t_worker;
+}
+
+EventHandle Scheduler::schedule_deferred(TimePoint at, Duration unit, int slots, EventFn fn,
+                                         const Footprint& fp) {
+  const auto w = static_cast<std::uint32_t>(detail::t_worker);
+  WorkerJournal& journal = journals_[w];
+  const auto op_idx = static_cast<std::uint32_t>(journal.ops.size());
+  assert(op_idx <= kJournalOpMask);
+  std::uint32_t s = 0;
+  std::uint32_t gen = 0;
+  {
+    // The slot is acquired now so the caller gets its handle immediately;
+    // the seq number (and any backoff draw) is consumed only at commit.
+    // slots_ may reallocate under other workers' acquisitions, so every
+    // slots_ access during the parallel phase stays inside this mutex.
+    std::lock_guard<std::mutex> lk(slots_mutex_);
+    s = acquire_slot();
+    gen = slots_[s].gen;
+    slots_[s].heap_pos = kPosJournal | (w << kJournalWorkerShift) | op_idx;
+  }
+  DeferredOp op;
+  op.kind = DeferredOp::Kind::kSchedule;
+  op.at = at;
+  op.unit = unit;
+  op.draw_slots = slots;
+  op.slot = s;
+  op.fn = std::move(fn);
+  op.fp = fp;
+  op.fp_epoch = spatial_epoch_;
+  journal.ops.push_back(std::move(op));
+  return EventHandle{(static_cast<std::uint64_t>(gen) << 32) | (s + 1)};
+}
+
+void Scheduler::cancel_deferred(EventHandle h) {
+  const std::uint32_t s = static_cast<std::uint32_t>(h.id & 0xffffffffu) - 1;
+  std::lock_guard<std::mutex> lk(slots_mutex_);
+  if (s >= slots_.size()) return;
+  Slot& slot = slots_[s];
+  if (slot.gen != static_cast<std::uint32_t>(h.id >> 32)) return;
+  const std::uint32_t pos = slot.heap_pos;
+  if ((pos & kPosTagMask) == kPosBatch) {
+    // A live handle to a batch member implies the member has not executed
+    // (execution releases the slot) and shares this event's group (handles
+    // only flow through state both events touch), so the mark is seen by
+    // the same worker before it reaches the member.
+    batch_[pos & ~kPosTagMask].dead = 1;
+    slot.fn.reset();
+    release_slot(s);
+    ++cancelled_;
+    return;
+  }
+  if ((pos & kPosTagMask) == kPosJournal) {
+    // Scheduled earlier in this batch and not yet committed: kill the op in
+    // place.  Its seq number and backoff draw are still burned at commit,
+    // exactly as the sequential schedule-then-cancel would have.
+    DeferredOp& op =
+        journals_[(pos & ~kPosTagMask) >> kJournalWorkerShift].ops[pos & kJournalOpMask];
+    op.dead = 1;
+    op.fn.reset();
+    release_slot(s);
+    ++cancelled_;
+    return;
+  }
+  // Queued in the heap (scheduled before this batch): removal mutates the
+  // heap, so it joins the journal and happens at commit.  Observably
+  // identical — the target's firing time is strictly later than this batch.
+  DeferredOp op;
+  op.kind = DeferredOp::Kind::kCancel;
+  op.target = h;
+  journals_[static_cast<std::uint32_t>(detail::t_worker)].ops.push_back(std::move(op));
+}
+
+void Scheduler::pop_batch(std::size_t max_n) {
+  batch_.clear();
+  const TimePoint t = heap_[0].at;
+  assert(t >= now_);
+  now_ = t;
+  while (!heap_.empty() && heap_[0].at == t && batch_.size() < max_n) {
+    const HeapEntry top = heap_[0];
+    Slot& slot = slots_[top.slot];
+    BatchItem it;
+    it.slot = top.slot;
+    it.seq = top.seq;
+    it.fp = slot.fp;
+    if (it.fp.kind == Footprint::Kind::kSpatial && slot.fp_epoch != spatial_epoch_) {
+      // Tagged against positions that have since moved (mobility teleport):
+      // the disc may no longer bound what the event touches.  Degrade to
+      // global, which serializes the batch — always sound.
+      it.fp = Footprint::global();
+    }
+    slot.heap_pos = kPosBatch | static_cast<std::uint32_t>(batch_.size());
+    remove_heap_at(0);
+    batch_.push_back(std::move(it));
+  }
+}
+
+std::size_t Scheduler::run_batch_direct() {
+  std::size_t n = 0;
+  for (BatchItem& it : batch_) {
+    if (it.dead != 0) continue;
+    EventFn fn = std::move(slots_[it.slot].fn);
+    release_slot(it.slot);
+    fn();
+    ++executed_;
+    ++n;
+    if (dispatch_hook_) dispatch_hook_(now_);
+  }
+  return n;
+}
+
+std::size_t Scheduler::build_groups() {
+  const auto n = static_cast<std::uint32_t>(batch_.size());
+  uf_parent_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) uf_parent_[i] = i;
+  const auto find = [this](std::uint32_t x) {
+    while (uf_parent_[x] != x) {
+      uf_parent_[x] = uf_parent_[uf_parent_[x]];  // path halving
+      x = uf_parent_[x];
+    }
+    return x;
+  };
+
+  double max_r = 0.0;
+  bool any_spatial = false;
+  for (const BatchItem& it : batch_) {
+    if (it.fp.kind == Footprint::Kind::kSpatial) {
+      any_spatial = true;
+      max_r = std::max(max_r, it.fp.radius_m);
+    }
+  }
+  if (any_spatial && n >= 2) {
+    // Bucket spatial events on a uniform grid with cell edge 2 * max_r:
+    // two discs can conflict only if their centers are within r_i + r_j
+    // <= 2 * max_r, i.e. within one cell in each axis, so scanning the 3x3
+    // neighborhood of every entry finds every conflicting pair.
+    const double cell = std::max(2.0 * max_r, 1e-9);
+    const double inv = 1.0 / cell;
+    const auto cell_key = [inv](double x, double y) {
+      const auto cx = static_cast<std::int64_t>(std::floor(x * inv));
+      const auto cy = static_cast<std::int64_t>(std::floor(y * inv));
+      return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+             static_cast<std::uint32_t>(cy);
+    };
+    cell_entries_.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const Footprint& fp = batch_[i].fp;
+      if (fp.kind == Footprint::Kind::kSpatial) {
+        cell_entries_.emplace_back(cell_key(fp.x, fp.y), i);
+      }
+    }
+    std::sort(cell_entries_.begin(), cell_entries_.end());
+    for (const auto& [key, i] : cell_entries_) {
+      const Footprint& a = batch_[i].fp;
+      const auto cx = static_cast<std::int64_t>(static_cast<std::int32_t>(key >> 32));
+      const auto cy = static_cast<std::int64_t>(static_cast<std::int32_t>(key & 0xffffffffu));
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        for (std::int64_t dy = -1; dy <= 1; ++dy) {
+          const std::uint64_t nk =
+              (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx + dx)) << 32) |
+              static_cast<std::uint32_t>(cy + dy);
+          auto [lo, hi] = std::equal_range(
+              cell_entries_.begin(), cell_entries_.end(), std::pair{nk, std::uint32_t{0}},
+              [](const auto& p, const auto& q) { return p.first < q.first; });
+          for (auto it = lo; it != hi; ++it) {
+            const std::uint32_t j = it->second;
+            if (j >= i) continue;  // each pair tested once
+            if (Footprint::discs_conflict(a, batch_[j].fp)) {
+              uf_parent_[find(i)] = find(j);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Collect groups in ascending first-member order; members ascend within
+  // each group (batch order == seq order).  kLocal entries never unioned:
+  // they fall out as singleton groups.
+  group_of_.assign(n, 0xffffffffu);
+  n_groups_ = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t root = find(i);
+    if (group_of_[root] == 0xffffffffu) {
+      if (n_groups_ == groups_.size()) groups_.emplace_back();
+      groups_[n_groups_].clear();
+      group_of_[root] = static_cast<std::uint32_t>(n_groups_++);
+    }
+    groups_[group_of_[root]].push_back(i);
+  }
+  return n_groups_;
+}
+
+std::size_t Scheduler::run_batch_parallel(WorkerPool& pool, Rng& rng) {
+  ++pstats_.parallel_batches;
+  pstats_.parallel_events += batch_.size();
+  pstats_.parallel_groups += n_groups_;
+  for (WorkerJournal& j : journals_) j.ops.clear();
+  deferred_ = true;
+  std::atomic<std::uint32_t> next_group{0};
+  const auto ngroups = static_cast<std::uint32_t>(n_groups_);
+  pool.run([&](std::size_t w) {
+    detail::t_worker = static_cast<int>(w);
+    for (;;) {
+      const std::uint32_t g = next_group.fetch_add(1, std::memory_order_relaxed);
+      if (g >= ngroups) break;
+      for (const std::uint32_t idx : groups_[g]) {
+        BatchItem& it = batch_[idx];
+        if (it.dead != 0) continue;  // cancelled by an earlier same-group event
+        EventFn fn;
+        {
+          std::lock_guard<std::mutex> lk(slots_mutex_);
+          fn = std::move(slots_[it.slot].fn);
+          release_slot(it.slot);
+        }
+        it.ops_worker = static_cast<std::uint32_t>(w);
+        it.ops_begin = static_cast<std::uint32_t>(journals_[w].ops.size());
+        fn();
+        it.ops_end = static_cast<std::uint32_t>(journals_[w].ops.size());
+        it.executed = 1;
+      }
+    }
+    detail::t_worker = -1;
+  });
+  deferred_ = false;
+  commit_batch(rng);
+  std::size_t n = 0;
+  for (const BatchItem& it : batch_) n += it.executed;
+  executed_ += n;
+  return n;
+}
+
+void Scheduler::commit_batch(Rng& rng) {
+  for (BatchItem& it : batch_) {
+    if (it.executed == 0) continue;
+    auto& ops = journals_[it.ops_worker].ops;
+    for (std::uint32_t i = it.ops_begin; i < it.ops_end; ++i) {
+      DeferredOp& op = ops[i];
+      switch (op.kind) {
+        case DeferredOp::Kind::kSchedule: {
+          TimePoint at = op.at;
+          if (op.draw_slots > 1) at = at + op.unit * rng.uniform_int(0, op.draw_slots - 1);
+          const std::uint64_t seq = next_seq_++;
+          // A dead (cancelled-in-batch) schedule still burned its seq and
+          // draw above — the sequential run scheduled it (consuming both)
+          // before the cancel removed it.  Its slot is already released.
+          if (op.dead != 0) break;
+          Slot& slot = slots_[op.slot];
+          slot.fn = std::move(op.fn);
+          slot.fp = op.fp;
+          slot.fp_epoch = op.fp_epoch;
+          push_heap_entry(at, seq, op.slot);
+          break;
+        }
+        case DeferredOp::Kind::kCancel:
+          cancel(op.target);  // direct path now: heap removal is safe
+          break;
+        case DeferredOp::Kind::kSerial:
+          op.fn();
+          break;
+      }
+    }
+  }
+}
+
+std::size_t Scheduler::run_parallel(std::size_t max_events, WorkerPool& pool, Rng& rng) {
+  assert(pool.size() <= kMaxWorkers);
+  if (journals_.size() < pool.size()) journals_.resize(pool.size());
+  std::size_t executed = 0;
+  while (executed < max_events && !heap_.empty()) {
+    pop_batch(max_events - executed);
+    ++pstats_.batches;
+    bool eligible = batch_.size() >= 2 && !dispatch_hook_;
+    if (eligible) {
+      for (const BatchItem& it : batch_) {
+        if (it.fp.kind == Footprint::Kind::kGlobal) {
+          eligible = false;
+          break;
+        }
+      }
+    }
+    if (eligible && build_groups() >= 2) {
+      executed += run_batch_parallel(pool, rng);
+    } else {
+      executed += run_batch_direct();
+    }
+  }
+  if (executed >= max_events && !heap_.empty()) limit_hit_ = true;
+  return executed;
+}
+
+}  // namespace spms::sim

@@ -1,0 +1,59 @@
+#include "sim/worker_pool.hpp"
+
+namespace spms::sim {
+
+WorkerPool::WorkerPool(std::size_t threads) : size_(threads == 0 ? 1 : threads) {
+  threads_.reserve(size_ - 1);
+  for (std::size_t w = 1; w < size_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::run(const std::function<void(std::size_t)>& fn) {
+  if (size_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    outstanding_ = size_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  fn(0);  // the caller is worker 0
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [this] { return outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      start_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(worker);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --outstanding_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace spms::sim

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file worker_pool.hpp
+/// Persistent worker pool for deterministic parallel dispatch.
+///
+/// run(fn) invokes fn(worker) on every worker concurrently — the calling
+/// thread participates as worker 0, `size() - 1` pool threads take workers
+/// 1..size()-1 — and returns once all invocations finish.  The pool persists
+/// across batches so the per-batch cost is one wakeup broadcast plus one
+/// barrier, not thread creation.
+///
+/// Memory ordering: the mutex/condition-variable handoff sequences every
+/// write the caller makes before run() before the workers' reads, and every
+/// worker write before the caller's reads after run() returns — the batch
+/// arrays and journals the scheduler shares with workers need no atomics of
+/// their own across the phase boundary.
+
+namespace spms::sim {
+
+class WorkerPool {
+ public:
+  /// Spawns `threads - 1` pool threads (a 1-thread pool spawns none and
+  /// run() degenerates to a plain call).
+  explicit WorkerPool(std::size_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total workers, calling thread included.
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Runs fn(worker) on all workers; blocks until every one returns.
+  void run(const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t worker);
+
+  std::size_t size_ = 1;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;  ///< bumped per run(); workers wait on it
+  std::size_t outstanding_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace spms::sim

@@ -1,0 +1,182 @@
+#include "sim/footprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+/// \file footprint_group_test.cpp
+/// Property test for the batch partitioner: Scheduler::build_groups must
+/// compute exactly the connected components of the pairwise disc-conflict
+/// graph — no missed conflict (would race), no spurious union (would only
+/// serialize, but silently erode the speedup the partitioner exists for).
+/// The grid-bucketed union-find is checked against a brute-force O(n^2)
+/// model, comparing as partitions (same-group relations), not group ids.
+
+namespace spms::sim {
+
+/// White-box access to the batch/grouping internals (friend of Scheduler).
+class SchedulerBatchTestPeer {
+ public:
+  explicit SchedulerBatchTestPeer(Scheduler& s) : s_(s) {}
+
+  /// Pops the earliest same-time batch and partitions it; returns the
+  /// group index of every batch member, in batch (seq) order.
+  std::vector<std::uint32_t> pop_and_group() {
+    s_.pop_batch(~std::size_t{0});
+    s_.build_groups();
+    std::vector<std::uint32_t> group(s_.batch_.size(), 0xffffffffu);
+    for (std::size_t g = 0; g < s_.n_groups_; ++g) {
+      for (const std::uint32_t idx : s_.groups_[g]) group[idx] = static_cast<std::uint32_t>(g);
+    }
+    return group;
+  }
+
+  [[nodiscard]] std::size_t batch_size() const { return s_.batch_.size(); }
+  [[nodiscard]] std::size_t n_groups() const { return s_.n_groups_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& group_members(std::size_t g) const {
+    return s_.groups_[g];
+  }
+
+  /// Executes the popped batch sequentially so the scheduler is left clean.
+  void drain() { s_.run_batch_direct(); }
+
+ private:
+  Scheduler& s_;
+};
+
+namespace {
+
+/// Brute-force reference: connected components of the conflict graph over
+/// the same footprints, via O(n^2) union-find.
+std::vector<std::uint32_t> reference_components(const std::vector<Footprint>& fps) {
+  const std::size_t n = fps.size();
+  std::vector<std::uint32_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = static_cast<std::uint32_t>(i);
+  const auto find = [&parent](std::uint32_t x) {
+    while (parent[x] != x) x = parent[x];
+    return x;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (fps[i].kind != Footprint::Kind::kSpatial) continue;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (fps[j].kind != Footprint::Kind::kSpatial) continue;
+      if (Footprint::discs_conflict(fps[i], fps[j])) {
+        parent[find(static_cast<std::uint32_t>(i))] = find(static_cast<std::uint32_t>(j));
+      }
+    }
+  }
+  std::vector<std::uint32_t> comp(n);
+  for (std::size_t i = 0; i < n; ++i) comp[i] = find(static_cast<std::uint32_t>(i));
+  return comp;
+}
+
+/// Schedules `fps` as one same-time batch and returns the partitioner's
+/// group assignment (batch order == scheduling order).
+std::vector<std::uint32_t> group_batch(const std::vector<Footprint>& fps) {
+  Scheduler s;
+  for (const Footprint& fp : fps) {
+    s.schedule_at(TimePoint::at(Duration::millis(1)), [] {}, fp);
+  }
+  SchedulerBatchTestPeer peer{s};
+  const auto groups = peer.pop_and_group();
+  EXPECT_EQ(peer.batch_size(), fps.size());
+  // Canonical-order invariant: members ascend within each group, and groups
+  // are numbered by their first member.
+  for (std::size_t g = 0; g < peer.n_groups(); ++g) {
+    const auto& members = peer.group_members(g);
+    EXPECT_FALSE(members.empty());
+    if (members.empty()) continue;
+    for (std::size_t k = 1; k < members.size(); ++k) {
+      EXPECT_LT(members[k - 1], members[k]) << "group members out of seq order";
+    }
+    if (g > 0) {
+      EXPECT_LT(peer.group_members(g - 1).front(), members.front())
+          << "groups not numbered by first member";
+    }
+  }
+  peer.drain();
+  return groups;
+}
+
+void expect_same_partition(const std::vector<std::uint32_t>& got,
+                           const std::vector<std::uint32_t>& want,
+                           std::uint64_t seed) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    for (std::size_t j = i + 1; j < got.size(); ++j) {
+      EXPECT_EQ(got[i] == got[j], want[i] == want[j])
+          << "pair (" << i << ", " << j << ") seed " << seed;
+    }
+  }
+}
+
+TEST(FootprintGroups, MatchesBruteForceComponentsOnRandomBatches) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    std::mt19937_64 gen(seed);
+    std::uniform_int_distribution<int> n_die(2, 64);
+    std::uniform_real_distribution<double> pos_die(-200.0, 200.0);
+    // Wildly mixed radii stress the bucketing: the grid cell is sized by the
+    // batch max radius, so tiny discs land in huge cells.
+    std::uniform_real_distribution<double> r_die(0.25, 40.0);
+    std::uniform_int_distribution<int> local_die(0, 9);
+    const int n = n_die(gen);
+    std::vector<Footprint> fps;
+    for (int i = 0; i < n; ++i) {
+      if (local_die(gen) == 0) {
+        fps.push_back(Footprint::local());
+      } else {
+        fps.push_back(Footprint::disc(pos_die(gen), pos_die(gen), r_die(gen)));
+      }
+    }
+    expect_same_partition(group_batch(fps), reference_components(fps), seed);
+  }
+}
+
+TEST(FootprintGroups, TransitiveOverlapChainsMergeIntoOneGroup) {
+  // 0-10-20 chain: ends conflict only through the middle disc.
+  const std::vector<Footprint> fps = {
+      Footprint::disc(0.0, 0.0, 5.1),
+      Footprint::disc(10.0, 0.0, 5.1),
+      Footprint::disc(20.0, 0.0, 5.1),
+      Footprint::disc(100.0, 0.0, 5.1),  // far away: own group
+  };
+  const auto groups = group_batch(fps);
+  EXPECT_EQ(groups[0], groups[1]);
+  EXPECT_EQ(groups[1], groups[2]);
+  EXPECT_NE(groups[0], groups[3]);
+}
+
+TEST(FootprintGroups, ExactlyTouchingDiscsConflict) {
+  // distance == r1 + r2 is inclusive (conservative under rounding).
+  const std::vector<Footprint> fps = {
+      Footprint::disc(0.0, 0.0, 4.0),
+      Footprint::disc(10.0, 0.0, 6.0),
+  };
+  EXPECT_TRUE(Footprint::discs_conflict(fps[0], fps[1]));
+  const auto groups = group_batch(fps);
+  EXPECT_EQ(groups[0], groups[1]);
+}
+
+TEST(FootprintGroups, LocalFootprintsAreAlwaysSingletons) {
+  std::vector<Footprint> fps;
+  for (int i = 0; i < 8; ++i) fps.push_back(Footprint::local());
+  // One fat disc covering everything: locals must still stand alone.
+  fps.push_back(Footprint::disc(0.0, 0.0, 1e6));
+  fps.push_back(Footprint::disc(1.0, 0.0, 1e6));
+  const auto groups = group_batch(fps);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      if (i == j) continue;
+      EXPECT_NE(groups[i], groups[j]) << "local event shares group " << i << "/" << j;
+    }
+  }
+  EXPECT_EQ(groups[8], groups[9]);
+}
+
+}  // namespace
+}  // namespace spms::sim

@@ -1,0 +1,353 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/worker_pool.hpp"
+
+/// \file scheduler_parallel_test.cpp
+/// The parallel dispatch determinism contract, pinned at the scheduler
+/// level: run_parallel() must produce the same observable behaviour as
+/// run() — the same committed order of run_serial() closures, the same seq
+/// numbers (and therefore firing order of children), the same RNG draw
+/// sequence for backoff slots, the same final clock and counters — at any
+/// worker count, on any mix of global/spatial/local footprints, under
+/// cancellation traffic into batches and into the heap.
+///
+/// Observable order is recorded via run_serial (immediate when sequential,
+/// canonical-commit order when parallel): raw callback interleaving across
+/// disjoint groups is intentionally unordered, and everything the
+/// simulator's outputs are built from flows through the journaled channels
+/// exercised here.  Cancellation targets follow the model-code invariant
+/// that a handle to a same-batch event only flows through state both events
+/// touch (same group); cross-batch cancels aim strictly into the future.
+
+namespace spms::sim {
+namespace {
+
+/// Random same-time-heavy workload over a shared scheduler + rng.  Events
+/// record their tag through run_serial, spawn children (plain and backoff)
+/// and cancel script events at strictly later timestamps.
+struct ScriptEvent {
+  int t_ms = 0;
+  int tag = 0;
+  double x = 0.0;           ///< footprint center (y = 0)
+  int fp_kind = 0;          ///< 0 global, 1 spatial, 2 local
+  bool spawn_child = false;
+  bool spawn_backoff = false;
+  std::size_t cancel_target = 0;  ///< index into the script, or kNoCancel
+  static constexpr std::size_t kNoCancel = ~std::size_t{0};
+};
+
+std::vector<ScriptEvent> make_script(std::uint64_t seed, std::size_t n) {
+  std::mt19937_64 gen(seed);
+  std::uniform_int_distribution<int> time_die(0, 29);  // ~10 events per timestamp
+  std::uniform_real_distribution<double> x_die(0.0, 400.0);
+  std::uniform_int_distribution<int> kind_die(0, 19);
+  std::uniform_int_distribution<int> coin(0, 3);
+  std::vector<ScriptEvent> script;
+  script.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ScriptEvent e;
+    e.t_ms = time_die(gen);
+    e.tag = static_cast<int>(i);
+    e.x = x_die(gen);
+    // One global in a batch serializes it, so keep globals rare (1/20) but
+    // present — the serialized batches exercise the degenerate path too.
+    const int k = kind_die(gen);
+    e.fp_kind = k == 0 ? 0 : (k <= 16 ? 1 : 2);
+    e.spawn_child = coin(gen) == 0;
+    e.spawn_backoff = coin(gen) == 1;
+    e.cancel_target = ScriptEvent::kNoCancel;
+    script.push_back(e);
+  }
+  // Wire cancels to targets at strictly later timestamps: same-batch
+  // cross-group cancellation is outside the contract (handles to same-time
+  // events only flow within a group in real model code).
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  for (auto& e : script) {
+    if (coin(gen) != 2) continue;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const std::size_t j = pick(gen);
+      if (script[j].t_ms > e.t_ms) {
+        e.cancel_target = j;
+        break;
+      }
+    }
+  }
+  return script;
+}
+
+struct ScriptOutcome {
+  std::vector<int> order;       ///< run_serial-committed tag stream
+  std::size_t executed = 0;
+  std::uint64_t cancelled = 0;
+  TimePoint final_now;
+  std::uint64_t rng_probe = 0;  ///< draw after the run: pins the draw count
+  Scheduler::ParallelStats stats;
+};
+
+/// Executes the script; `threads == 0` means the plain sequential run().
+ScriptOutcome run_script(const std::vector<ScriptEvent>& script, std::size_t threads) {
+  Scheduler s;
+  Rng rng{12345};
+  ScriptOutcome out;
+  std::vector<EventHandle> handles(script.size());
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const ScriptEvent& e = script[i];
+    Footprint fp = Footprint::global();
+    if (e.fp_kind == 1) fp = Footprint::disc(e.x, 0.0, 5.0);
+    if (e.fp_kind == 2) fp = Footprint::local();
+    auto body = [&s, &rng, &out, &handles, e] {
+      s.run_serial([&out, tag = e.tag] { out.order.push_back(tag); });
+      if (e.spawn_child) {
+        s.schedule_after(Duration::millis(1),
+                         [&s, &out, tag = e.tag] {
+                           s.run_serial([&out, tag] { out.order.push_back(tag + 100000); });
+                         },
+                         Footprint::disc(e.x, 0.0, 5.0));
+      }
+      if (e.spawn_backoff) {
+        s.schedule_backoff(s.now(), Duration::micros(50), Duration::micros(10), 8, rng,
+                           [&s, &out, tag = e.tag] {
+                             s.run_serial([&out, tag] { out.order.push_back(tag + 200000); });
+                           },
+                           Footprint::disc(e.x, 0.0, 5.0));
+      }
+      if (e.cancel_target != ScriptEvent::kNoCancel) {
+        s.cancel(handles[e.cancel_target]);
+      }
+    };
+    handles[i] = s.schedule_at(TimePoint::at(Duration::millis(e.t_ms)), std::move(body), fp);
+  }
+  if (threads == 0) {
+    out.executed = s.run();
+  } else {
+    WorkerPool pool{threads};
+    out.executed = s.run_parallel(Scheduler::kDefaultMaxEvents, pool, rng);
+  }
+  out.cancelled = s.events_cancelled();
+  out.final_now = s.now();
+  out.rng_probe = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+  out.stats = s.parallel_stats();
+  return out;
+}
+
+TEST(SchedulerParallel, RandomScriptsMatchSequentialAtAnyWorkerCount) {
+  std::uint64_t total_parallel_batches = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto script = make_script(seed, 300);
+    const auto seq = run_script(script, 0);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      const auto par = run_script(script, threads);
+      ASSERT_EQ(seq.order, par.order) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(seq.executed, par.executed) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(seq.cancelled, par.cancelled) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(seq.final_now, par.final_now) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(seq.rng_probe, par.rng_probe)
+          << "rng draw sequence diverged: seed " << seed << " threads " << threads;
+      EXPECT_GT(par.stats.batches, 0u);
+      total_parallel_batches += par.stats.parallel_batches;
+    }
+  }
+  // The scripts are same-time-heavy with mostly-spatial footprints; if
+  // nothing ever reached the pool this suite would be vacuous.  (Aggregated
+  // across seeds: any single batch is serialized by one global member.)
+  EXPECT_GT(total_parallel_batches, 0u);
+}
+
+TEST(SchedulerParallel, DisjointFootprintBatchRunsOnPool) {
+  Scheduler s;
+  Rng rng{1};
+  int ran = 0;
+  for (int i = 0; i < 64; ++i) {
+    s.schedule_at(
+        TimePoint::at(Duration::millis(5)),
+        [&ran, &s] {
+          s.run_serial([&ran] { ++ran; });
+        },
+        Footprint::disc(i * 100.0, 0.0, 1.0));
+  }
+  WorkerPool pool{4};
+  EXPECT_EQ(s.run_parallel(Scheduler::kDefaultMaxEvents, pool, rng), 64u);
+  EXPECT_EQ(ran, 64);
+  const auto& st = s.parallel_stats();
+  EXPECT_EQ(st.batches, 1u);
+  EXPECT_EQ(st.parallel_batches, 1u);
+  EXPECT_EQ(st.parallel_events, 64u);
+  EXPECT_EQ(st.parallel_groups, 64u);
+}
+
+TEST(SchedulerParallel, CancelOfLaterSameBatchSameGroupMemberWins) {
+  // A (earlier seq) cancels B in the same timestamp batch.  Their discs
+  // overlap, so they share a group and execute in seq order on one worker:
+  // the cancel must land exactly as it does sequentially — B never runs.
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{1}, std::size_t{4}}) {
+    Scheduler s;
+    Rng rng{1};
+    std::vector<int> order;
+    EventHandle hb{};
+    s.schedule_at(
+        TimePoint::at(Duration::millis(1)),
+        [&] {
+          s.run_serial([&order] { order.push_back(1); });
+          s.cancel(hb);
+        },
+        Footprint::disc(0.0, 0.0, 2.0));
+    hb = s.schedule_at(
+        TimePoint::at(Duration::millis(1)),
+        [&] {
+          s.run_serial([&order] { order.push_back(2); });
+        },
+        Footprint::disc(1.0, 0.0, 2.0));
+    // An unrelated disjoint event keeps the batch pool-eligible (>= 2 groups).
+    s.schedule_at(
+        TimePoint::at(Duration::millis(1)),
+        [&] {
+          s.run_serial([&order] { order.push_back(3); });
+        },
+        Footprint::disc(500.0, 0.0, 2.0));
+    std::size_t executed = 0;
+    if (threads == 0) {
+      executed = s.run();
+    } else {
+      WorkerPool pool{threads};
+      executed = s.run_parallel(Scheduler::kDefaultMaxEvents, pool, rng);
+    }
+    EXPECT_EQ(executed, 2u) << "threads " << threads;
+    EXPECT_EQ(order, (std::vector<int>{1, 3})) << "threads " << threads;
+    EXPECT_EQ(s.events_cancelled(), 1u) << "threads " << threads;
+    EXPECT_EQ(s.pending(), 0u) << "threads " << threads;
+  }
+}
+
+TEST(SchedulerParallel, CancelFromBatchIntoFutureHeapEvent) {
+  // A batch member cancels an event queued for a later time: the cancel is
+  // journaled and must remove the heap entry at commit, before the next
+  // batch pops.
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+    Scheduler s;
+    Rng rng{1};
+    bool later_ran = false;
+    const auto h = s.schedule_at(TimePoint::at(Duration::millis(9)),
+                                 [&later_ran] { later_ran = true; });
+    for (int i = 0; i < 8; ++i) {
+      s.schedule_at(
+          TimePoint::at(Duration::millis(1)),
+          [&s, h, i] {
+            if (i == 3) s.cancel(h);
+          },
+          Footprint::disc(i * 100.0, 0.0, 1.0));
+    }
+    std::size_t executed = 0;
+    if (threads == 0) {
+      executed = s.run();
+    } else {
+      WorkerPool pool{threads};
+      executed = s.run_parallel(Scheduler::kDefaultMaxEvents, pool, rng);
+    }
+    EXPECT_EQ(executed, 8u) << "threads " << threads;
+    EXPECT_FALSE(later_ran) << "threads " << threads;
+    EXPECT_EQ(s.events_cancelled(), 1u) << "threads " << threads;
+    EXPECT_EQ(s.pending(), 0u) << "threads " << threads;
+  }
+}
+
+TEST(SchedulerParallel, DeadScheduleStillBurnsSeqAndDraw) {
+  // B cancels A's freshly scheduled backoff child before the batch commits.
+  // The child's seq number and backoff draw must still be consumed at
+  // commit — the sequential run consumed both before the cancel landed — or
+  // every later seq/draw shifts.  Probed via the rng state after the run: a
+  // later backoff event exposes any skipped draw.
+  auto run_case = [](std::size_t threads) {
+    Scheduler s;
+    Rng rng{7};
+    std::vector<int> order;
+    EventHandle child{};
+    s.schedule_at(
+        TimePoint::at(Duration::millis(1)),
+        [&] {
+          child = s.schedule_backoff(s.now(), Duration::millis(5), Duration::micros(10), 16,
+                                     rng,
+                                     [&s, &order] {
+                                       s.run_serial([&order] { order.push_back(100); });
+                                     },
+                                     Footprint::disc(0.0, 0.0, 2.0));
+        },
+        Footprint::disc(0.0, 0.0, 2.0));
+    s.schedule_at(
+        TimePoint::at(Duration::millis(1)), [&] { s.cancel(child); },
+        Footprint::disc(1.0, 0.0, 2.0));  // overlaps A: same group, runs after A
+    // Disjoint filler so the batch goes to the pool.
+    s.schedule_at(TimePoint::at(Duration::millis(1)), [] {},
+                  Footprint::disc(500.0, 0.0, 1.0));
+    // A post-batch backoff: its draw index (and firing time) shifts if the
+    // dead child's draw was not burned.
+    s.schedule_at(TimePoint::at(Duration::millis(2)), [&] {
+      s.schedule_backoff(s.now(), Duration::zero(), Duration::micros(10), 16, rng,
+                         [&s, &order] {
+                           s.run_serial([&order] { order.push_back(200); });
+                         },
+                         Footprint::global());
+    });
+    std::size_t executed = 0;
+    if (threads == 0) {
+      executed = s.run();
+    } else {
+      WorkerPool pool{threads};
+      executed = s.run_parallel(Scheduler::kDefaultMaxEvents, pool, rng);
+    }
+    EXPECT_EQ(order, (std::vector<int>{200})) << "threads " << threads;
+    const auto probe = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+    return std::pair{executed, probe};
+  };
+  const auto [exec_seq, probe_seq] = run_case(0);
+  const auto [exec_par, probe_par] = run_case(4);
+  EXPECT_EQ(exec_seq, exec_par);
+  EXPECT_EQ(probe_seq, probe_par) << "dead schedule op did not burn its backoff draw";
+}
+
+TEST(SchedulerParallel, StaleSpatialEpochDegradesBatchToDirect) {
+  // Footprints tagged before invalidate_spatial_footprints() degrade to
+  // global at pop — the batch runs direct, never on the pool.
+  Scheduler s;
+  Rng rng{1};
+  for (int i = 0; i < 16; ++i) {
+    s.schedule_at(TimePoint::at(Duration::millis(1)), [] {},
+                  Footprint::disc(i * 100.0, 0.0, 1.0));
+  }
+  s.invalidate_spatial_footprints();
+  WorkerPool pool{4};
+  EXPECT_EQ(s.run_parallel(Scheduler::kDefaultMaxEvents, pool, rng), 16u);
+  EXPECT_EQ(s.parallel_stats().parallel_batches, 0u);
+  // Tags minted after the bump parallelize again.
+  for (int i = 0; i < 16; ++i) {
+    s.schedule_at(s.now() + Duration::millis(1), [] {},
+                  Footprint::disc(i * 100.0, 0.0, 1.0));
+  }
+  EXPECT_EQ(s.run_parallel(Scheduler::kDefaultMaxEvents, pool, rng), 16u);
+  EXPECT_EQ(s.parallel_stats().parallel_batches, 1u);
+}
+
+TEST(SchedulerParallel, GlobalFootprintSerializesWholeBatch) {
+  Scheduler s;
+  Rng rng{1};
+  for (int i = 0; i < 8; ++i) {
+    s.schedule_at(TimePoint::at(Duration::millis(1)), [] {},
+                  Footprint::disc(i * 100.0, 0.0, 1.0));
+  }
+  s.schedule_at(TimePoint::at(Duration::millis(1)), [] {});  // kGlobal
+  WorkerPool pool{4};
+  EXPECT_EQ(s.run_parallel(Scheduler::kDefaultMaxEvents, pool, rng), 9u);
+  EXPECT_EQ(s.parallel_stats().batches, 1u);
+  EXPECT_EQ(s.parallel_stats().parallel_batches, 0u);
+}
+
+}  // namespace
+}  // namespace spms::sim
